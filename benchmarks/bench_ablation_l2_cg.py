@@ -1,0 +1,14 @@
+"""Ablation: the Section 5.4 hypothesis -- CG and the doubled cluster L2."""
+
+from repro.cachesim.sophon import cg_l2_ablation
+
+
+def test_cg_l2_doubling(benchmark):
+    results = benchmark(cg_l2_ablation)
+    assert results[2].fast_fraction > results[1].fast_fraction + 0.1
+    print()
+    for l2, s in results.items():
+        print(
+            f"L2={l2} MB: {100 * s.fast_fraction:.0f}% of CG gathers served "
+            f"at cluster distance ({100 * s.l3_or_dram_fraction:.0f}% spill to L3+)"
+        )

@@ -1,0 +1,23 @@
+"""Ablation: which SG2042 -> SG2044 upgrade bought what (DESIGN.md)."""
+
+from repro.explore.whatif import ablate_upgrade
+
+
+def _study():
+    return {
+        (kernel, step): ablate_upgrade(kernel, step)
+        for kernel in ("is", "mg", "ep", "cg")
+        for step in ("clock", "memory", "l2", "rvv10")
+    }
+
+
+def test_upgrade_attribution(benchmark):
+    gains = benchmark(_study)
+    # The paper's causal story, quantified on the model:
+    assert gains[("is", "memory")] > 3.0   # IS's 4.91x is the memory subsystem
+    assert gains[("ep", "clock")] > 1.25   # EP's 1.52x is mostly the clock
+    assert gains[("ep", "memory")] < 1.05  # ... and not the memory
+    assert gains[("mg", "memory")] > 2.0
+    print()
+    for (kernel, step), gain in sorted(gains.items()):
+        print(f"{kernel.upper():3} +{step:<7} {gain:5.2f}x")

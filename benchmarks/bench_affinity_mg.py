@@ -1,0 +1,22 @@
+"""Section 5.2 ablation: OMP_PROC_BIND policies for MG on the SG2044."""
+
+from repro.machines import get_machine
+from repro.openmp import OpenMPRuntime
+
+
+def _study():
+    machine = get_machine("sg2044")
+    return {
+        policy: OpenMPRuntime(machine, proc_bind=policy).placement_efficiency(64)
+        for policy in (None, "false", "close", "spread", "master")
+    }
+
+
+def test_affinity_ablation(benchmark):
+    eff = benchmark(_study)
+    # The paper's finding: unset/false is best; master is catastrophic.
+    assert eff[None] == eff["false"] == max(eff.values())
+    assert eff["master"] == min(eff.values())
+    print()
+    for policy, value in eff.items():
+        print(f"OMP_PROC_BIND={policy}: {value:.3f}")

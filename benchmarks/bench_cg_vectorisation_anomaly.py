@@ -1,0 +1,16 @@
+"""Section 6 drill-down: the CG RVV gather pathology (perf counters)."""
+
+from repro.perf.profile import cg_vectorisation_study
+
+
+def test_cg_anomaly_study(benchmark):
+    row = benchmark(cg_vectorisation_study, "sg2044")
+    assert 1.8 < row.slowdown < 3.2
+    assert abs(row.branch_miss_ratio - 2.0) < 0.3
+    assert not any(v.beats_scalar for v in row.unroll_variants)
+    print()
+    print(
+        f"\nvec slowdown {row.slowdown:.2f}x, branch misses "
+        f"{row.branch_miss_ratio:.1f}x, IPC {row.ipc_scalar:.2f} -> "
+        f"{row.ipc_vectorised:.2f}"
+    )

@@ -1,0 +1,24 @@
+"""Multi-socket projection (the companion study [2] direction)."""
+
+from repro.mpi.cluster import cluster_sweep
+
+
+def _study():
+    return {
+        kernel: cluster_sweep("sg2044", kernel, (1, 2, 4, 8))
+        for kernel in ("ep", "ft", "cg")
+    }
+
+
+def test_cluster_projection(benchmark):
+    sweeps = benchmark(_study)
+    # EP clusters perfectly; FT pays for its transposes but stays useful.
+    assert sweeps["ep"][-1].scaling_efficiency > 0.99
+    assert 0.5 < sweeps["ft"][-1].scaling_efficiency < 1.0
+    print()
+    for kernel, sweep in sweeps.items():
+        pts = "  ".join(
+            f"{p.n_sockets}s:{p.mops:,.0f} (eff {p.scaling_efficiency:.2f})"
+            for p in sweep
+        )
+        print(f"{kernel.upper():3} {pts}")

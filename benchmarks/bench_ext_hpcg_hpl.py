@@ -1,0 +1,39 @@
+"""Section 7 extensions: HPL and HPCG, functional + modelled."""
+
+from repro.compilers.gcc import default_compiler_for, get_compiler
+from repro.core.perfmodel import PerformanceModel
+from repro.extensions import hpcg_signature, hpl_signature, run_hpcg_host, run_hpl_host
+from repro.machines.catalog import get_machine
+
+
+def test_hpl_functional(benchmark):
+    result = benchmark(run_hpl_host, 160)
+    assert result.verified
+
+
+def test_hpcg_functional(benchmark):
+    result = benchmark(run_hpcg_host, 8, 15)
+    assert result.verified
+
+
+def _modelled_ratios():
+    model = PerformanceModel()
+    out = {}
+    for name in ("sg2044", "sg2042", "epyc7742"):
+        m = get_machine(name)
+        compiler = get_compiler(default_compiler_for(name))
+        hpl = model.predict(m, hpl_signature(20_000), compiler, m.n_cores)
+        hpcg = model.predict(m, hpcg_signature(), compiler, m.n_cores)
+        out[name] = (hpl.mops, hpcg.mops)
+    return out
+
+
+def test_hpl_hpcg_modelled(benchmark):
+    rates = benchmark(_modelled_ratios)
+    # The SG2044 is much closer to the EPYC on HPCG than on HPL.
+    hpl_ratio = rates["sg2044"][0] / rates["epyc7742"][0]
+    hpcg_ratio = rates["sg2044"][1] / rates["epyc7742"][1]
+    assert hpcg_ratio > 1.5 * hpl_ratio
+    print()
+    for name, (hpl, hpcg) in rates.items():
+        print(f"{name}: HPL {hpl / 1e3:,.0f} GF/s  HPCG {hpcg / 1e3:,.1f} GF/s")

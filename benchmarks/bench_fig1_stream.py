@@ -1,0 +1,13 @@
+"""Figure 1: STREAM copy bandwidth vs cores."""
+
+from repro.harness.figures import figure1
+
+
+def test_figure1_stream_bandwidth(benchmark):
+    fig = benchmark(figure1)
+    sg42 = dict(fig.series["Sophon SG2042"])
+    sg44 = dict(fig.series["Sophon SG2044"])
+    assert sg42[64] < 1.35 * sg42[8]  # plateau (vs 4.6x for the SG2044)
+    assert sg44[64] / sg42[64] > 2.7  # "over three times"
+    print()
+    print(fig.render())

@@ -1,0 +1,16 @@
+"""Figure 2: IS scaling across the five server CPUs."""
+
+from repro.harness.figures import figure2
+
+
+def test_figure2_is_scaling(benchmark):
+    fig = benchmark(figure2)
+    assert len(fig.series) == 5
+    sg44 = dict(fig.series["Sophon SG2044"])
+    sg42 = dict(fig.series["Sophon SG2042"])
+    assert sg44[64] > sg42[64]  # the SG2044 wins at full chip
+    # IS: the SG2042 plateaus at 16 threads, the SG2044 keeps scaling.
+    assert sg42[64] < 1.25 * sg42[16]
+    assert sg44[64] > 2.5 * sg44[16]
+    print()
+    print(fig.render())

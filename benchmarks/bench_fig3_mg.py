@@ -1,0 +1,13 @@
+"""Figure 3: MG scaling across the five server CPUs."""
+
+from repro.harness.figures import figure3
+
+
+def test_figure3_mg_scaling(benchmark):
+    fig = benchmark(figure3)
+    assert len(fig.series) == 5
+    sg44 = dict(fig.series["Sophon SG2044"])
+    sg42 = dict(fig.series["Sophon SG2042"])
+    assert sg44[64] > sg42[64]  # the SG2044 wins at full chip
+    print()
+    print(fig.render())

@@ -1,0 +1,16 @@
+"""Figure 4: EP scaling across the five server CPUs."""
+
+from repro.harness.figures import figure4
+
+
+def test_figure4_ep_scaling(benchmark):
+    fig = benchmark(figure4)
+    assert len(fig.series) == 5
+    sg44 = dict(fig.series["Sophon SG2044"])
+    sg42 = dict(fig.series["Sophon SG2042"])
+    assert sg44[64] > sg42[64]  # the SG2044 wins at full chip
+    # EP: the SG2044 tracks the Skylake core-for-core.
+    sky = dict(fig.series["Intel Skylake"])
+    assert abs(sg44[16] - sky[16]) / sky[16] < 0.2
+    print()
+    print(fig.render())

@@ -1,0 +1,17 @@
+"""Figure 5: CG scaling across the five server CPUs."""
+
+from repro.harness.figures import figure5
+
+
+def test_figure5_cg_scaling(benchmark):
+    fig = benchmark(figure5)
+    assert len(fig.series) == 5
+    sg44 = dict(fig.series["Sophon SG2044"])
+    sg42 = dict(fig.series["Sophon SG2042"])
+    assert sg44[64] > sg42[64]  # the SG2044 wins at full chip
+    # CG: TX2 wins core-for-core but loses whole-chip.
+    tx = dict(fig.series["Marvell ThunderX2"])
+    assert tx[16] > sg44[16]
+    assert sg44[64] > tx[32]
+    print()
+    print(fig.render())

@@ -1,0 +1,13 @@
+"""Figure 6: FT scaling across the five server CPUs."""
+
+from repro.harness.figures import figure6
+
+
+def test_figure6_ft_scaling(benchmark):
+    fig = benchmark(figure6)
+    assert len(fig.series) == 5
+    sg44 = dict(fig.series["Sophon SG2044"])
+    sg42 = dict(fig.series["Sophon SG2042"])
+    assert sg44[64] > sg42[64]  # the SG2044 wins at full chip
+    print()
+    print(fig.render())

@@ -1,0 +1,23 @@
+"""Model-evaluation throughput: predictions per second (engine overhead)."""
+
+from repro.compilers.gcc import get_compiler
+from repro.core.perfmodel import PerformanceModel
+from repro.machines.catalog import get_machine
+from repro.npb.signatures import signature_for
+
+
+def test_prediction_throughput(benchmark):
+    model = PerformanceModel()
+    machine = get_machine("sg2044")
+    compiler = get_compiler("gcc-15.2")
+    sigs = [signature_for(k, "C") for k in ("is", "mg", "ep", "cg", "ft")]
+
+    def sweep():
+        return [
+            model.predict(machine, sig, compiler, n)
+            for sig in sigs
+            for n in (1, 2, 4, 8, 16, 32, 64)
+        ]
+
+    preds = benchmark(sweep)
+    assert len(preds) == 35

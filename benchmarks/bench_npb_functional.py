@@ -1,0 +1,15 @@
+"""Host-side functional NPB kernels (class S) -- the library's own speed."""
+
+import pytest
+
+from repro.npb.suite import run_benchmark
+
+KERNELS = ["is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_functional_class_s(benchmark, kernel):
+    result = benchmark.pedantic(
+        run_benchmark, args=(kernel, "S"), iterations=1, rounds=1
+    )
+    assert result.verified

@@ -1,0 +1,13 @@
+"""Table 1: NPB memory behaviour on the Xeon 8170 (trace simulation)."""
+
+from repro.harness.tables import table1
+
+
+def test_table1_memory_behaviour(benchmark):
+    result = benchmark(table1, n_accesses=30_000)
+    rows = {r[0]: r for r in result.rows}
+    # EP must show no DDR trouble; MG must be the bandwidth-bound one.
+    assert rows["EP"][3] <= 2
+    assert rows["MG"][5] == max(r[5] for r in result.rows)
+    print()
+    print(result.render())

@@ -1,0 +1,16 @@
+"""Table 2: single-core RISC-V board comparison, class B."""
+
+from repro.harness.tables import table2
+
+
+def test_table2_riscv_boards(benchmark):
+    result = benchmark(table2)
+    ft_row = next(r for r in result.rows if r[0] == "FT")
+    assert None in ft_row  # the AllWinner D1 DNR
+    # The SG2044 column dominates every board on every kernel.
+    for row in result.rows:
+        sg2044 = row[1]
+        others = [v for v in row[2::2] if v is not None]
+        assert all(v < sg2044 for v in others)
+    print()
+    print(result.render())

@@ -1,0 +1,15 @@
+"""Table 4: SG2044 vs SG2042 across all 64 cores, class C."""
+
+from repro.harness.tables import table4
+
+
+def test_table4_full_chip(benchmark):
+    result = benchmark(table4)
+    ratios = {r[0]: r[3] for r in result.rows}
+    # The paper's headline: 1.52x (EP) to 4.91x (IS).
+    assert max(ratios, key=ratios.get) == "IS"
+    assert min(ratios, key=ratios.get) == "EP"
+    assert ratios["IS"] > 4.0
+    assert 1.3 < ratios["EP"] < 1.8
+    print()
+    print(result.render())

@@ -1,0 +1,13 @@
+"""Table 5: the CPU overview (catalog integrity)."""
+
+from repro.harness.tables import table5
+
+
+def test_table5_cpu_overview(benchmark):
+    result = benchmark(table5)
+    assert len(result.rows) == 5
+    vectors = {r[0]: r[5] for r in result.rows}
+    assert vectors["Sophon SG2044"] == "RVV v1.0.0"
+    assert vectors["Sophon SG2042"] == "RVV v0.7.1"
+    print()
+    print(result.render())

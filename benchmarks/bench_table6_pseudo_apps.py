@@ -1,0 +1,17 @@
+"""Table 6: BT/LU/SP relative runtimes vs the SG2044."""
+
+from repro.harness.tables import table6
+
+
+def test_table6_pseudo_applications(benchmark):
+    result = benchmark(table6)
+    # SG2042 is slower than the SG2044 at every core count (ratio < 1)...
+    sg2042 = [r[2] for r in result.rows if r[2] is not None]
+    assert all(v < 1.0 for v in sg2042)
+    # ... and the gap widens with cores for each app.
+    for app in ("BT", "LU", "SP"):
+        r16 = next(r[2] for r in result.rows if r[0] == app and r[1] == 16)
+        r64 = next(r[2] for r in result.rows if r[0] == app and r[1] == 64)
+        assert r64 < r16
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Every paper table and figure has one pytest-benchmark target here; running
+``pytest benchmarks/ --benchmark-only`` regenerates the whole evaluation
+and prints each regenerator's runtime.  Shape assertions inside the
+benchmarks keep them honest -- a regression that breaks the reproduced
+result fails the bench, not just slows it.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def runner():
+    from repro.core.experiment import ExperimentRunner
+
+    return ExperimentRunner()

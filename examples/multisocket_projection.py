@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Multi-socket projection -- beyond the paper, toward its companion [2].
+
+The paper evaluates one socket; reference [2] asks how high-core-count
+RISC-V behaves across sockets.  This example uses the simulated MPI layer
+to (a) *verify* the distributed algorithms against their sequential
+counterparts -- the rank-partitioned EP is bit-exact thanks to `randlc`
+jump-ahead, the slab FFT matches `numpy.fft.fftn` -- and then (b) project
+NPB strong scaling over 1-8 SG2044 or EPYC sockets on three fabrics.
+
+Run:  python examples/multisocket_projection.py
+"""
+
+import numpy as np
+
+from repro.mpi import (
+    ETHERNET_100G,
+    INFINIBAND_HDR,
+    PCIE5_FABRIC,
+    SimComm,
+    cluster_sweep,
+    distributed_ep,
+    distributed_fft3d,
+)
+from repro.npb.ep import ep_kernel
+
+
+def main() -> None:
+    # --- functional verification of the distributed kernels ------------
+    comm = SimComm(4, INFINIBAND_HDR)
+    sx, sy, counts = distributed_ep(comm, 2**18)
+    ref = ep_kernel(2**18)
+    exact = (
+        abs(sx - ref[0]) < 1e-9
+        and abs(sy - ref[1]) < 1e-9
+        and np.array_equal(counts, ref[2])
+    )
+    print(f"distributed EP over 4 ranks: {'bit-exact' if exact else 'MISMATCH'}")
+
+    rng = np.random.default_rng(9)
+    field = rng.normal(size=(16, 16, 16)) + 1j * rng.normal(size=(16, 16, 16))
+    comm = SimComm(4, INFINIBAND_HDR)
+    ok = np.allclose(distributed_fft3d(comm, field), np.fft.fftn(field))
+    print(f"distributed 3-D FFT (slab + alltoall): {'matches fftn' if ok else 'MISMATCH'}")
+
+    # --- projection -----------------------------------------------------
+    print("\nstrong scaling, class C, InfiniBand HDR between sockets:")
+    for machine in ("sg2044", "epyc7742"):
+        print(f"  {machine}:")
+        for kernel in ("ep", "ft", "cg", "mg"):
+            sweep = cluster_sweep(machine, kernel, (1, 2, 4, 8))
+            pts = "  ".join(
+                f"{p.n_sockets}s {p.mops:>10,.0f}" for p in sweep
+            )
+            eff = sweep[-1].scaling_efficiency
+            print(f"    {kernel.upper():3} {pts}   (8-socket eff {eff:.2f})")
+
+    print("\nfabric sensitivity (FT, 8 sockets of SG2044):")
+    for link in (PCIE5_FABRIC, INFINIBAND_HDR, ETHERNET_100G):
+        sweep = cluster_sweep("sg2044", "ft", (8,), link=link)
+        p = sweep[0]
+        print(
+            f"  {link.name:<22} {p.mops:>12,.0f} Mop/s "
+            f"(comm {100 * p.comm_fraction:.0f}% of runtime)"
+        )
+    print(
+        "\nEP clusters perfectly; FT's transposes make the fabric choice "
+        "matter -- the same\nbandwidth story as on-chip, one level up."
+    )
+
+
+if __name__ == "__main__":
+    main()

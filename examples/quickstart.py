@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: the two halves of the library in ~40 lines.
+
+1. Run a real NAS Parallel Benchmark functionally (NumPy, verified).
+2. Ask the performance model what the same benchmark does on the paper's
+   machines -- single-core and full-chip -- reproducing the headline
+   SG2044-vs-SG2042 comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, ExperimentRunner
+from repro.npb.suite import run_benchmark
+
+
+def main() -> None:
+    # --- functional: actually compute CG (class S verifies against the
+    # official NPB zeta constant 8.5971775078648).
+    result = run_benchmark("cg", "S")
+    print("functional run:")
+    print(f"  {result.summary()}")
+    print(f"  zeta = {result.details['zeta']:.13f}")
+    print(f"  official = {result.details['zeta_ref']:.13f}")
+
+    # --- modelled: the same kernel on the paper's hardware.
+    runner = ExperimentRunner()
+    print("\nmodelled on the paper's machines (class C, Mop/s):")
+    for machine in ("sg2044", "sg2042", "epyc7742", "skylake8170", "thunderx2"):
+        single = runner.run(
+            ExperimentConfig(machine=machine, kernel="cg", n_threads=1, vectorise=False)
+        )
+        full = runner.run(
+            ExperimentConfig(
+                machine=machine,
+                kernel="cg",
+                n_threads=_cores(machine),
+                vectorise=False,
+            )
+        )
+        print(
+            f"  {machine:<12} 1 core: {single.mean_mops:8.1f}   "
+            f"all {_cores(machine):2d} cores: {full.mean_mops:10.1f}"
+        )
+
+    print(
+        "\nthe SG2044's 64-core CG is ~2.2x the SG2042's -- the paper's "
+        "Table 4 story."
+    )
+
+
+def _cores(machine: str) -> int:
+    from repro.machines import get_machine
+
+    return get_machine(machine).n_cores
+
+
+if __name__ == "__main__":
+    main()

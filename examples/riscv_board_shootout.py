@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""RISC-V board shootout -- the paper's Section 3 scenario.
+
+Compares a single core of every commodity RISC-V board in the catalog on
+the five NPB kernels at class B, printing the Mop/s and the percentage of
+the SG2044's C920v2 that each board reaches (the paper's Table 2 layout),
+including the AllWinner D1's FT "DNR" (its 1 GB of DRAM cannot hold the
+problem).
+
+Run:  python examples/riscv_board_shootout.py
+"""
+
+from repro import DNRError, ExperimentConfig, ExperimentRunner
+from repro.core.metrics import percent_of
+from repro.machines import PAPER_RISCV_BOARDS, get_machine
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    kernels = ("is", "mg", "ep", "cg", "ft")
+
+    print(f"{'kernel':<8}" + "".join(f"{get_machine(m).label:>18}" for m in PAPER_RISCV_BOARDS))
+    for kernel in kernels:
+        ref = runner.run(
+            ExperimentConfig(
+                machine="sg2044",
+                kernel=kernel,
+                npb_class="B",
+                n_threads=1,
+                vectorise=kernel != "cg",
+            )
+        ).mean_mops
+        cells = []
+        for machine in PAPER_RISCV_BOARDS:
+            try:
+                mops = runner.run(
+                    ExperimentConfig(
+                        machine=machine,
+                        kernel=kernel,
+                        npb_class="B",
+                        n_threads=1,
+                        vectorise=kernel != "cg",
+                    )
+                ).mean_mops
+            except DNRError:
+                cells.append(f"{'DNR':>18}")
+                continue
+            pct = percent_of(mops, ref)
+            cells.append(f"{mops:10.2f} ({pct:3.0f}%)")
+        print(f"{kernel.upper():<8}" + "".join(cells))
+
+    print(
+        "\nOnly the SpacemiT X60 boards (Banana Pi / Milk-V Jupiter) also "
+        "implement RVV 1.0,\nyet none reaches half the C920v2's rate -- "
+        "the paper's Section 3 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

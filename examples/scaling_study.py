@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Multi-core scaling study -- the paper's Section 5 scenario.
+
+Sweeps threads for every kernel across the five server CPUs, prints the
+Mop/s curves, and derives the paper's qualitative findings automatically:
+where the SG2042 plateaus, where the SG2044 overtakes the 32-core
+ThunderX2 on CG, and the STREAM bandwidth curves behind it all (Figure 1).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import ExperimentConfig, ExperimentRunner
+from repro.core.metrics import crossover_threads, speedup_curve
+from repro.machines import PAPER_HPC_MACHINES, get_machine
+from repro.stream import modelled_bandwidth
+
+
+def sweep(runner: ExperimentRunner, machine: str, kernel: str) -> list[tuple[int, float]]:
+    counts = [n for n in (1, 2, 4, 8, 16, 26, 32, 64) if n <= get_machine(machine).n_cores]
+    out = []
+    for n in counts:
+        res = runner.run(
+            ExperimentConfig(
+                machine=machine,
+                kernel=kernel,
+                n_threads=n,
+                vectorise=kernel != "cg",
+            )
+        )
+        out.append((n, res.mean_mops))
+    return out
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+
+    print("STREAM copy bandwidth (GB/s), the Figure 1 mechanism:")
+    for machine in ("sg2042", "sg2044"):
+        m = get_machine(machine)
+        pts = "  ".join(
+            f"{n}:{modelled_bandwidth(m, n):.0f}" for n in (1, 4, 8, 16, 32, 64)
+        )
+        print(f"  {m.label:<16} {pts}")
+
+    for kernel in ("is", "mg", "ep", "cg", "ft"):
+        print(f"\n{kernel.upper()} class C scaling (Mop/s):")
+        curves = {}
+        for machine in PAPER_HPC_MACHINES:
+            curve = sweep(runner, machine, kernel)
+            curves[machine] = curve
+            pts = "  ".join(f"{n}:{v:,.0f}" for n, v in curve)
+            print(f"  {get_machine(machine).label:<18} {pts}")
+
+        # Paper finding 1: the SG2042 plateaus, the SG2044 keeps scaling.
+        s42 = dict(speedup_curve(curves["sg2042"]))
+        s44 = dict(speedup_curve(curves["sg2044"]))
+        print(
+            f"  -> speedup at 64 threads: SG2044 {s44[64]:.1f}x, "
+            f"SG2042 {s42[64]:.1f}x"
+        )
+
+    # Paper finding 2 (Section 5.4): whole-chip SG2044 beats whole-chip TX2
+    # on CG even though TX2 wins core-for-core.
+    runner2 = ExperimentRunner()
+    cg44 = sweep(runner2, "sg2044", "cg")
+    cgtx = sweep(runner2, "thunderx2", "cg")
+    per_core = crossover_threads(cg44, cgtx)
+    full44 = cg44[-1][1]
+    fulltx = cgtx[-1][1]
+    print(
+        f"\nCG: core-for-core crossover at "
+        f"{per_core if per_core is not None else '>32'} threads; "
+        f"whole-chip: SG2044 {full44:,.0f} vs ThunderX2 {fulltx:,.0f} Mop/s "
+        f"({full44 / fulltx:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Upgrade attribution -- what, exactly, did SOPHGO's changes buy?
+
+The paper lists the SG2044's upgrades over the SG2042 (Section 2.1) and
+measures their combined effect (Tables 3/4).  The model can do what the
+hardware cannot: apply them one at a time.  This example prints, for each
+kernel, the cumulative upgrade ladder and the marginal value of each step
+added last -- quantifying the paper's conclusions that the memory
+subsystem is the multi-core story and RVV 1.0's real gift is mainline
+compilers.
+
+Run:  python examples/upgrade_attribution.py
+"""
+
+from repro.explore.whatif import UPGRADES, ablate_upgrade, upgrade_ladder
+
+
+def main() -> None:
+    print("Cumulative ladder, 64 threads, class C (gain over previous step):")
+    for kernel in ("is", "mg", "ep", "cg", "ft"):
+        ladder = upgrade_ladder(kernel, 64)
+        steps = "  ".join(f"{step}:x{gain:.2f}" for step, _, gain in ladder[1:])
+        total = ladder[-1][1] / ladder[0][1]
+        print(f"  {kernel.upper():3} {steps}   total x{total:.2f}")
+
+    print("\nMarginal value of each upgrade (added last), 64 threads:")
+    header = "".join(f"{u.key:>9}" for u in UPGRADES)
+    print(f"  {'':3}{header}")
+    for kernel in ("is", "mg", "ep", "cg", "ft"):
+        cells = "".join(
+            f"{ablate_upgrade(kernel, u.key, 64):>9.2f}" for u in UPGRADES
+        )
+        print(f"  {kernel.upper():3}{cells}")
+
+    print("\nSame, at a single core (where Table 3 lives):")
+    for kernel in ("is", "ep"):
+        cells = "".join(
+            f"{ablate_upgrade(kernel, u.key, 1):>9.2f}" for u in UPGRADES
+        )
+        print(f"  {kernel.upper():3}{cells}")
+
+    print(
+        "\nReading: IS's 4.9x is nearly all memory subsystem; EP's 1.5x is"
+        "\nclock plus mainline-compiler RVV; and at one core the memory"
+        "\nupgrade barely registers -- the paper's Section 4 observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

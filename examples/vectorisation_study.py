@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Compiler and vectorisation study -- the paper's Section 6 scenario.
+
+Reproduces the compiler comparison (GCC 12.3.1 vs 15.2, vectorisation on
+and off) on the SG2044, then drills into the CG anomaly with the simulated
+``perf`` counters: the vectorised sparse matvec doubles branch misses and
+runs ~2.7x slower, and even the 8x-unrolled variant stays behind scalar.
+
+Run:  python examples/vectorisation_study.py
+"""
+
+from repro import ExperimentConfig, ExperimentRunner
+from repro.perf import cg_vectorisation_study
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    configs = [
+        ("GCC 12.3.1 (distro)", "gcc-12.3.1", True),
+        ("GCC 15.2 + vector", "gcc-15.2", True),
+        ("GCC 15.2 no vector", "gcc-15.2", False),
+    ]
+
+    for n_threads in (1, 64):
+        print(f"SG2044, class C, {n_threads} thread(s) -- Mop/s:")
+        print(f"  {'kernel':<8}" + "".join(f"{label:>22}" for label, _, _ in configs))
+        for kernel in ("is", "mg", "ep", "cg", "ft"):
+            cells = []
+            for _, compiler, vec in configs:
+                res = runner.run(
+                    ExperimentConfig(
+                        machine="sg2044",
+                        kernel=kernel,
+                        n_threads=n_threads,
+                        compiler=compiler,
+                        vectorise=vec,
+                    )
+                )
+                cells.append(f"{res.mean_mops:22,.1f}")
+            print(f"  {kernel.upper():<8}" + "".join(cells))
+        print()
+
+    print("CG anomaly drill-down (simulated perf, 1 core):")
+    for machine in ("sg2044", "milkv-jupiter"):
+        row = cg_vectorisation_study(machine, "C" if machine == "sg2044" else "B")
+        print(
+            f"  {machine:<14} vec slowdown {row.slowdown:4.2f}x, "
+            f"branch misses {row.branch_miss_ratio:.1f}x, "
+            f"IPC {row.ipc_scalar:.2f} -> {row.ipc_vectorised:.2f}"
+        )
+        for v in row.unroll_variants:
+            verdict = "beats scalar!" if v.beats_scalar else "still slower than scalar"
+            print(f"      unroll x{v.unroll}: {v.relative_to_default_vec:.2f}x ({verdict})")
+    print(
+        "\nNote the width effect: the 256-bit SpacemiT X60 sees only a "
+        "marginal penalty,\nexactly as the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

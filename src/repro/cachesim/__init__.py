@@ -1,0 +1,24 @@
+"""Trace-driven cache simulator (the paper's Table 1 substrate)."""
+
+from .cache import CacheStats, SetAssociativeCache
+from .hierarchy import CacheHierarchy, LevelResult, xeon8170_hierarchy
+from .sophon import CGGatherStats, cg_l2_ablation, sophon_hierarchy
+from .stats import StallProfile, profile_kernel, table1_profile
+from .trace import KERNEL_TRACES, TraceSpec, build_trace
+
+__all__ = [
+    "CGGatherStats",
+    "CacheHierarchy",
+    "CacheStats",
+    "KERNEL_TRACES",
+    "LevelResult",
+    "SetAssociativeCache",
+    "StallProfile",
+    "TraceSpec",
+    "build_trace",
+    "cg_l2_ablation",
+    "profile_kernel",
+    "sophon_hierarchy",
+    "table1_profile",
+    "xeon8170_hierarchy",
+]

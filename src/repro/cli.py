@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table N``      regenerate paper Table N (1-8)
+``figure N``     regenerate paper Figure N (1-6)
+``npb K``        run an NPB benchmark functionally (``--npb-class S..C``)
+``suite``        run the whole functional suite at one class
+``stream``       run STREAM on the host and print modelled Figure 1 points
+``machines``     list the machine catalog
+``predict``      one model prediction with its cost breakdown
+``cg-study``     the Section 6 CG vectorisation analysis
+``ablate``       upgrade attribution (SG2042 -> SG2044, step by step)
+``cluster``      multi-socket strong-scaling projection
+``roofline``     roofline placement of the kernels on one machine
+``export``       write every table and figure to a directory as CSV
+``score``        model-vs-paper error scorecard across all tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Is RISC-V ready for HPC? An evaluation of "
+            "the Sophon SG2044' (SC 2025)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=range(1, 9))
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=range(1, 7))
+    p.add_argument("--csv", action="store_true")
+
+    p = sub.add_parser("npb", help="run one NPB benchmark functionally")
+    p.add_argument("kernel", choices=["is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"])
+    p.add_argument("--npb-class", default="S", choices=list("SWABC"))
+
+    p = sub.add_parser("suite", help="run the full functional NPB suite")
+    p.add_argument("--npb-class", default="S", choices=list("SWABC"))
+
+    p = sub.add_parser("stream", help="host STREAM + modelled Figure 1 points")
+    p.add_argument("--elements", type=int, default=2_000_000)
+
+    sub.add_parser("machines", help="list the machine catalog")
+
+    p = sub.add_parser("predict", help="one model prediction with breakdown")
+    p.add_argument("machine")
+    p.add_argument("kernel")
+    p.add_argument("--npb-class", default="C", choices=list("SWABC"))
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--compiler", default=None)
+    p.add_argument("--no-vectorise", action="store_true")
+
+    p = sub.add_parser("cg-study", help="Section 6 CG vectorisation analysis")
+    p.add_argument("--machine", default="sg2044")
+
+    p = sub.add_parser("ablate", help="which SG2042->SG2044 upgrade bought what")
+    p.add_argument("kernel", choices=["is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"])
+    p.add_argument("--threads", type=int, default=64)
+
+    p = sub.add_parser("cluster", help="multi-socket strong-scaling projection")
+    p.add_argument("machine")
+    p.add_argument("kernel")
+    p.add_argument("--sockets", type=int, nargs="+", default=[1, 2, 4, 8])
+
+    p = sub.add_parser("roofline", help="roofline placement of the NPB kernels")
+    p.add_argument("machine")
+
+    p = sub.add_parser("export", help="write every table/figure as CSV")
+    p.add_argument("directory")
+
+    sub.add_parser("score", help="model-vs-paper error scorecard")
+
+    return parser
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.harness import build_table
+
+    result = build_table(args.number)
+    sys.stdout.write(result.to_csv() if args.csv else result.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness import build_figure
+
+    result = build_figure(args.number)
+    sys.stdout.write(result.to_csv() if args.csv else result.render())
+    return 0
+
+
+def _cmd_npb(args: argparse.Namespace) -> int:
+    from repro.npb.suite import run_benchmark
+
+    result = run_benchmark(args.kernel, args.npb_class)
+    print(result.summary())
+    for key, value in result.details.items():
+        print(f"  {key}: {value:.6g}")
+    return 0 if result.verified else 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.npb.suite import run_suite
+
+    results = run_suite(args.npb_class)
+    ok = True
+    for r in results:
+        print(r.summary())
+        ok &= r.verified
+    return 0 if ok else 1
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.machines import get_machine
+    from repro.stream import modelled_bandwidth, run_stream_host
+
+    print("host STREAM:")
+    for r in run_stream_host(n_elements=args.elements):
+        status = "ok" if r.verified else "BAD RESULT"
+        print(f"  {r.kernel:6} {r.bandwidth_gbs:8.2f} GB/s  [{status}]")
+    print("modelled Figure 1 (copy):")
+    for name in ("sg2042", "sg2044"):
+        m = get_machine(name)
+        pts = ", ".join(
+            f"{n}:{modelled_bandwidth(m, n):.0f}"
+            for n in (1, 2, 4, 8, 16, 32, 64)
+        )
+        print(f"  {m.label}: {pts} GB/s")
+    return 0
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    from repro.machines import all_machines
+
+    for m in all_machines():
+        d = m.describe()
+        print(
+            f"{m.name:<14} {d['CPU']:<18} {d['ISA']:<8} {d['Base clock']:>9} "
+            f"{d['Cores']:>3} cores  {d['Vector']:<11} {d['Memory']}"
+        )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.compilers import default_compiler_for, get_compiler
+    from repro.core import PerformanceModel
+    from repro.machines import get_machine
+    from repro.npb import signature_for
+
+    machine = get_machine(args.machine)
+    compiler = get_compiler(args.compiler or default_compiler_for(args.machine))
+    sig = signature_for(args.kernel, args.npb_class)
+    pred = PerformanceModel().predict(
+        machine, sig, compiler, args.threads, not args.no_vectorise
+    )
+    print(
+        f"{sig.display} class {sig.npb_class} on {machine.label} "
+        f"x{args.threads} ({compiler.display}, "
+        f"{'vec' if pred.vectorised else 'no-vec'})"
+    )
+    print(f"  predicted: {pred.mops:,.1f} Mop/s ({pred.time_s:.2f} s)")
+    print(
+        f"  breakdown: compute {pred.t_compute:.2f} s, "
+        f"stream {pred.t_stream:.2f} s, latency {pred.t_latency:.2f} s, "
+        f"sync {pred.t_sync:.3f} s (dominant: {pred.dominant_term})"
+    )
+    for note in pred.notes:
+        print(f"  note: {note}")
+    return 0
+
+
+def _cmd_cg_study(args: argparse.Namespace) -> int:
+    from repro.perf import cg_vectorisation_study
+
+    row = cg_vectorisation_study(args.machine)
+    print(f"CG vectorisation study on {row.machine} (paper Section 6):")
+    print(f"  vectorised slowdown: {row.slowdown:.2f}x (paper ~2.7x)")
+    print(f"  branch-miss ratio:   {row.branch_miss_ratio:.2f}x (paper ~2x)")
+    print(
+        f"  IPC scalar/vector:   {row.ipc_scalar:.2f} / "
+        f"{row.ipc_vectorised:.2f} (paper 0.54 / 0.51)"
+    )
+    for v in row.unroll_variants:
+        beats = "beats scalar" if v.beats_scalar else "still slower than scalar"
+        print(
+            f"  unroll x{v.unroll}: {v.mops:8.1f} Mop/s "
+            f"({v.relative_to_default_vec:.2f}x default vec; {beats})"
+        )
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.explore.whatif import UPGRADES, ablate_upgrade, upgrade_ladder
+
+    print(f"{args.kernel.upper()} at {args.threads} threads:")
+    print("cumulative ladder from the SG2042:")
+    for step, mops, gain in upgrade_ladder(args.kernel, args.threads):
+        print(f"  {step:<18} {mops:>12,.1f} Mop/s   x{gain:.2f}")
+    print("marginal value of each upgrade (added last):")
+    for upgrade in UPGRADES:
+        gain = ablate_upgrade(args.kernel, upgrade.key, args.threads)
+        print(f"  {upgrade.key:<8} ({upgrade.description}): x{gain:.2f}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.mpi.cluster import cluster_sweep
+
+    sweep = cluster_sweep(args.machine, args.kernel, tuple(args.sockets))
+    print(f"{args.kernel.upper()} on {args.machine}, InfiniBand HDR fabric:")
+    for p in sweep:
+        print(
+            f"  {p.n_sockets} socket(s): {p.mops:>12,.1f} Mop/s "
+            f"(eff {p.scaling_efficiency:.2f}, comm {100 * p.comm_fraction:.0f}%)"
+        )
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from repro.explore.roofline import ridge_intensity, roofline_point
+    from repro.machines import get_machine
+    from repro.npb import signature_for
+
+    machine = get_machine(args.machine)
+    print(
+        f"{machine.label}: ridge at "
+        f"{ridge_intensity(machine):.2f} flop/byte (full chip)"
+    )
+    for kernel in ("is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"):
+        pt = roofline_point(machine, signature_for(kernel, "C"))
+        intensity = (
+            "inf" if pt.arithmetic_intensity == float("inf")
+            else f"{pt.arithmetic_intensity:.2f}"
+        )
+        print(
+            f"  {kernel.upper():3} intensity {intensity:>5} flop/B -> "
+            f"{pt.attainable_gflops:8.1f} Gflop/s attainable ({pt.bound}-bound)"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.harness.export import export_all
+
+    written = export_all(args.directory)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_score(_args: argparse.Namespace) -> int:
+    from repro.harness.scorecard import scorecard
+
+    print("model-vs-paper absolute relative error:")
+    for score in scorecard():
+        print(f"  {score.summary()}")
+    return 0
+
+
+_COMMANDS = {
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "npb": _cmd_npb,
+    "suite": _cmd_suite,
+    "stream": _cmd_stream,
+    "machines": _cmd_machines,
+    "predict": _cmd_predict,
+    "cg-study": _cmd_cg_study,
+    "ablate": _cmd_ablate,
+    "cluster": _cmd_cluster,
+    "roofline": _cmd_roofline,
+    "export": _cmd_export,
+    "score": _cmd_score,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Compiler capability/efficacy models (GCC versions, XuanTie fork, LLVM)."""
+
+from .model import (
+    CompilerFamily,
+    CompilerSpec,
+    VectorisationOutcome,
+    vectorisation_outcome,
+)
+from .gcc import (
+    GCC_12_3_1,
+    GCC_15_2,
+    XUANTIE_GCC_8_4,
+    compiler_names,
+    default_compiler_for,
+    get_compiler,
+)
+
+__all__ = [
+    "CompilerFamily",
+    "CompilerSpec",
+    "GCC_12_3_1",
+    "GCC_15_2",
+    "VectorisationOutcome",
+    "XUANTIE_GCC_8_4",
+    "compiler_names",
+    "default_compiler_for",
+    "get_compiler",
+    "vectorisation_outcome",
+]

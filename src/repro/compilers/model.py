@@ -1,0 +1,254 @@
+"""Compiler capability and code-quality model.
+
+The paper's compiler story has two parts:
+
+1. **Legality** -- which compiler can target which vector extension.
+   Mainline GCC gained foundational RISC-V vectorisation in 13.1 and full
+   RVV 1.0 auto-vectorisation in 14, so the SG2044 (RVV 1.0) is served by
+   mainline GCC 15.2 while the SG2042 (RVV 0.7.1) needs T-Head's XuanTie
+   GCC 8.4 fork.  x86 and Arm SIMD have been mainline for decades.
+
+2. **Efficacy** -- how much of the ideal SIMD speedup auto-vectorisation
+   realises per kernel, including the paper's Section 6 anomaly where the
+   vectorised CG runs ~2.7x *slower* on a single C920v2 core (doubled
+   branch misses, IPC 0.51 vs 0.54).
+
+Both are modelled here; :mod:`repro.core.perfmodel` composes the resulting
+multipliers into the compute-rate term.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.machines.cpu import VectorStandard, VectorUnit
+
+__all__ = [
+    "CompilerFamily",
+    "CompilerSpec",
+    "VectorisationOutcome",
+    "vectorisation_outcome",
+]
+
+
+class CompilerFamily(enum.Enum):
+    GCC = "gcc"
+    XUANTIE_GCC = "xuantie-gcc"  # T-Head's RVV 0.7.1 fork
+    LLVM = "llvm"
+
+
+@dataclass(frozen=True)
+class CompilerSpec:
+    """One compiler the paper (or its future-work section) uses.
+
+    ``scalar_quality`` maps kernel name -> multiplier on scalar code
+    quality relative to the reference (mainline GCC 15.2).  Table 7 shows
+    the deltas are small but kernel-dependent and not monotone in version
+    (GCC 12.3.1 beats 15.2-no-vec on MG but loses badly on FT).
+    """
+
+    family: CompilerFamily
+    version: tuple[int, ...]
+    scalar_quality: dict[str, float] = field(default_factory=dict)
+    default_scalar_quality: float = 1.0
+    # kernel -> multiplier on how much of the memory subsystem's saturated
+    # throughput the generated code extracts.  Invisible at one core (the
+    # core, not the chip, is then the bottleneck) but decisive at 64:
+    # Table 8 shows GCC 12.3.1 losing 26% on IS and 8% on FT at 64 cores
+    # despite near-parity at one (memory-access instruction scheduling and
+    # non-temporal-pattern differences).
+    saturation_quality: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.version:
+            raise ValueError("version tuple must be non-empty")
+        if any(v < 0 for v in self.version):
+            raise ValueError("version components must be non-negative")
+        if self.default_scalar_quality <= 0:
+            raise ValueError("scalar quality must be positive")
+        for kernel, q in self.scalar_quality.items():
+            if q <= 0:
+                raise ValueError(f"scalar quality for {kernel} must be positive")
+        for kernel, q in self.saturation_quality.items():
+            if not 0.0 < q <= 1.2:
+                raise ValueError(f"saturation quality for {kernel} must be in (0, 1.2]")
+
+    @property
+    def version_str(self) -> str:
+        return ".".join(str(v) for v in self.version)
+
+    @property
+    def display(self) -> str:
+        prefix = {
+            CompilerFamily.GCC: "GCC",
+            CompilerFamily.XUANTIE_GCC: "XuanTie GCC",
+            CompilerFamily.LLVM: "LLVM/Clang",
+        }[self.family]
+        return f"{prefix} v{self.version_str}"
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+
+    def can_vectorise(self, standard: VectorStandard) -> bool:
+        """Whether this compiler can auto-vectorise for ``standard``."""
+        if standard is VectorStandard.NONE:
+            return False
+        if standard is VectorStandard.RVV_0_7_1:
+            # Pre-ratification RVV: only the XuanTie fork ever targeted it.
+            return self.family is CompilerFamily.XUANTIE_GCC
+        if standard is VectorStandard.RVV_1_0:
+            if self.family is CompilerFamily.GCC:
+                # Foundational support in 13.1; full RVV 1.0 auto-vec in 14.
+                return self.version >= (14,)
+            if self.family is CompilerFamily.LLVM:
+                # LLVM supported RVV 1.0 earlier than GCC (paper Section 7).
+                return self.version >= (16,)
+            return False
+        # AVX2 / AVX-512 / NEON: any vaguely modern mainline compiler.
+        if self.family is CompilerFamily.XUANTIE_GCC:
+            return False  # RISC-V-only fork
+        return True
+
+    def scalar_quality_for(self, kernel: str) -> float:
+        return self.scalar_quality.get(kernel, self.default_scalar_quality)
+
+    def saturation_quality_for(self, kernel: str) -> float:
+        return self.saturation_quality.get(kernel, 1.0)
+
+    def vectorisation_maturity(self, standard: VectorStandard) -> float:
+        """How well-tuned this compiler's auto-vectoriser is for a target.
+
+        1.0 = fully mature (decades of x86 SIMD tuning).  RISC-V RVV
+        auto-vectorisation is young; GCC 14 -> 15 brought significant
+        improvements, which is part of why the paper insists on 15.2.
+        """
+        if not self.can_vectorise(standard):
+            return 0.0
+        if standard in (VectorStandard.AVX2, VectorStandard.AVX512, VectorStandard.NEON):
+            return 1.0
+        if standard is VectorStandard.RVV_0_7_1:
+            return 0.75  # the fork lags mainline optimisation work
+        # RVV 1.0 in mainline GCC:
+        if self.family is CompilerFamily.GCC:
+            return 0.85 if self.version >= (15,) else 0.7
+        return 0.85  # LLVM
+
+
+class VectorisationOutcome:
+    """Result of asking "what does `-O3` (+/- vectorisation) do here?".
+
+    Attributes
+    ----------
+    legal:
+        Compiler can target the machine's vector unit at all.
+    applied:
+        Vectorisation was requested, legal, and the kernel has vectorisable
+        loops.
+    compute_multiplier:
+        Multiplier on the kernel's *compute* rate relative to reference
+        scalar code.  > 1 for a win; < 1 for pathologies like CG on RVV.
+    latency_multiplier:
+        Multiplier on the kernel's latency-bound (gather) cost.  The
+        Section 6 pathology hits the memory side hardest: vectorised
+        gathers serialise behind mask generation and stripmining control
+        flow instead of overlapping like the scalar indexed loads did.
+    branch_miss_multiplier:
+        Multiplier on the kernel's branch-miss rate (feeds the simulated
+        ``perf`` counters that reproduce the Section 6 analysis).
+    """
+
+    __slots__ = (
+        "legal",
+        "applied",
+        "compute_multiplier",
+        "latency_multiplier",
+        "branch_miss_multiplier",
+    )
+
+    def __init__(
+        self,
+        legal: bool,
+        applied: bool,
+        compute_multiplier: float,
+        latency_multiplier: float = 1.0,
+        branch_miss_multiplier: float = 1.0,
+    ) -> None:
+        if compute_multiplier <= 0 or latency_multiplier <= 0:
+            raise ValueError("multipliers must be positive")
+        self.legal = legal
+        self.applied = applied
+        self.compute_multiplier = compute_multiplier
+        self.latency_multiplier = latency_multiplier
+        self.branch_miss_multiplier = branch_miss_multiplier
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VectorisationOutcome(legal={self.legal}, applied={self.applied}, "
+            f"compute_multiplier={self.compute_multiplier:.3f}, "
+            f"latency_multiplier={self.latency_multiplier:.2f}, "
+            f"branch_miss_multiplier={self.branch_miss_multiplier:.2f})"
+        )
+
+
+def vectorisation_outcome(
+    compiler: CompilerSpec,
+    vector_unit: VectorUnit,
+    kernel: str,
+    vec_fraction: float,
+    vectorise: bool,
+    gather_pathology: float = 0.0,
+) -> VectorisationOutcome:
+    """Compute the effect of (not) vectorising ``kernel``.
+
+    Parameters
+    ----------
+    vec_fraction:
+        Fraction of the kernel's compute that sits in vectorisable loops
+        (from the kernel signature).
+    vectorise:
+        Whether vectorisation was requested (``-O3`` with the vectoriser
+        on; the paper's "no vector" columns pass ``-fno-tree-vectorize``).
+    gather_pathology:
+        Kernel-specific penalty strength in [0, 1] for indexed-load loops
+        whose RVV gather codegen misbehaves (CG's ``conj_grad`` matvec).
+        0 = immune; 1 = full paper-strength pathology.
+
+    The compute multiplier composes Amdahl-style:
+    ``1 / ((1 - f) + f / s_eff)`` with ``s_eff`` the ideal lane speedup
+    derated by the compiler's maturity for the target.
+    """
+    if not 0.0 <= vec_fraction <= 1.0:
+        raise ValueError("vec_fraction must be in [0, 1]")
+    if not 0.0 <= gather_pathology <= 1.0:
+        raise ValueError("gather_pathology must be in [0, 1]")
+
+    legal = compiler.can_vectorise(vector_unit.standard)
+    if not vectorise or not legal or vec_fraction == 0.0:
+        return VectorisationOutcome(legal=legal, applied=False, compute_multiplier=1.0)
+
+    maturity = compiler.vectorisation_maturity(vector_unit.standard)
+
+    if gather_pathology > 0.0 and vector_unit.standard is VectorStandard.RVV_1_0:
+        # Section 6: mainline GCC's RVV 1.0 indexed-gather code for CG's
+        # sparse matvec doubles branch misses and drops IPC (0.51 vs
+        # 0.54), making the vectorised binary ~2.7x slower on one C920v2
+        # core.  Wider vector units amortise the stripmining and mask
+        # control flow (the paper saw only a *marginal* reduction on the
+        # 256-bit SpacemiT X60), hence the width derating.  The RVV 0.7.1
+        # XuanTie fork uses a different (unaffected) codegen path.
+        width_derate = 1.0 if vector_unit.width_bits <= 128 else 0.15
+        strength = gather_pathology * width_derate
+        return VectorisationOutcome(
+            legal=True,
+            applied=True,
+            compute_multiplier=1.0 - 0.62 * strength,
+            latency_multiplier=1.0 + 1.7 * strength,
+            branch_miss_multiplier=1.0 + strength,
+        )
+
+    ideal = vector_unit.speedup_over_scalar(element_bits=64)
+    s_eff = max(1.0, 1.0 + (ideal - 1.0) * maturity)
+    multiplier = 1.0 / ((1.0 - vec_fraction) + vec_fraction / s_eff)
+    return VectorisationOutcome(legal=True, applied=True, compute_multiplier=multiplier)

@@ -1,0 +1,73 @@
+"""Derived metrics: speedups, relative performance, paper-style ratios."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = [
+    "times_faster",
+    "percent_of",
+    "speedup_curve",
+    "parallel_efficiency",
+    "crossover_threads",
+]
+
+
+def times_faster(mops_a: float, mops_b: float) -> float:
+    """How many times faster A is than B (the paper's Tables 3/4/6 metric).
+
+    >>> round(times_faster(3038.14, 618.50), 2)
+    4.91
+    """
+    if mops_a <= 0 or mops_b <= 0:
+        raise ValueError("rates must be positive")
+    return mops_a / mops_b
+
+
+def percent_of(mops: float, reference_mops: float) -> float:
+    """Percentage of a reference rate (the red figures of Table 2)."""
+    if reference_mops <= 0:
+        raise ValueError("reference rate must be positive")
+    if mops < 0:
+        raise ValueError("rate must be non-negative")
+    return 100.0 * mops / reference_mops
+
+
+def speedup_curve(mops_by_threads: Sequence[tuple[int, float]]) -> list[tuple[int, float]]:
+    """Speedup over the single-thread point for a scaling sweep.
+
+    Input must contain the 1-thread measurement.
+    """
+    base = None
+    for n, mops in mops_by_threads:
+        if n == 1:
+            base = mops
+            break
+    if base is None:
+        raise ValueError("speedup needs the 1-thread measurement")
+    if base <= 0:
+        raise ValueError("1-thread rate must be positive")
+    return [(n, mops / base) for n, mops in mops_by_threads]
+
+
+def parallel_efficiency(mops_by_threads: Sequence[tuple[int, float]]) -> list[tuple[int, float]]:
+    """Parallel efficiency (speedup / threads) for a scaling sweep."""
+    return [(n, s / n) for n, s in speedup_curve(mops_by_threads)]
+
+
+def crossover_threads(
+    curve_a: Sequence[tuple[int, float]],
+    curve_b: Sequence[tuple[int, float]],
+) -> int | None:
+    """First thread count at which curve A overtakes curve B.
+
+    Curves are (threads, Mop/s) sequences; only thread counts present in
+    both are compared.  Returns ``None`` if A never overtakes B (the
+    paper's "whole CPU" comparisons, e.g. 64-core SG2044 vs 32-core
+    ThunderX2 on CG, are about exactly this kind of crossover).
+    """
+    b_by_n = dict(curve_b)
+    for n, mops_a in sorted(curve_a):
+        if n in b_by_n and mops_a > b_by_n[n]:
+            return n
+    return None

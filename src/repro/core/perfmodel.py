@@ -1,0 +1,375 @@
+"""Analytic execution-time model: (machine, kernel, compiler, threads) -> time.
+
+The model composes four partially-overlapping cost terms::
+
+    T = max(T_compute, T_stream) + T_latency + T_sync
+
+* ``T_compute`` -- dynamic instructions over the aggregate sustained issue
+  rate, after Amdahl/imbalance thread derating and the compiler's
+  scalar-quality and vectorisation multipliers.
+* ``T_stream``  -- DRAM streaming traffic (plus transpose/halo
+  communication traffic, which in shared-memory OpenMP *is* memory
+  traffic) over the machine's saturating bandwidth curve ``BW(n)``.
+  Modern cores overlap streaming misses with compute, hence the ``max``.
+* ``T_latency`` -- prefetch-defeating random accesses over the machine's
+  saturating random-access service rate ``R(n)``.  This is what makes IS
+  plateau on the SG2042 (Figure 2) and scale on the SG2044.
+* ``T_sync``    -- OpenMP barrier/reduction costs.
+
+Absolute single-core rates are anchored per (machine, kernel) by
+:mod:`repro.core.calibration`; everything about *scaling* -- plateaus,
+crossovers, the 1.52-4.91x SG2044/SG2042 spread of Table 4 -- emerges from
+the saturation physics above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compilers.model import CompilerSpec, vectorisation_outcome
+from repro.machines.machine import Machine
+from repro.machines.memory import smoothmin
+
+from .signature import KernelSignature
+
+__all__ = ["Prediction", "PerformanceModel", "DNRError"]
+
+
+class DNRError(RuntimeError):
+    """The configuration Did Not Run (e.g. working set exceeds DRAM).
+
+    Mirrors the paper's "DNR" entry for FT on the 1 GB AllWinner D1.
+    """
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One model evaluation.
+
+    ``time_s`` is the predicted wall-clock for the whole benchmark;
+    ``mops`` the corresponding NPB-style Mop/s.  The breakdown fields are
+    the un-overlapped cost terms (their sum exceeds ``time_s`` because
+    compute and streaming overlap).
+    """
+
+    machine: str
+    kernel: str
+    npb_class: str
+    n_threads: int
+    time_s: float
+    mops: float
+    t_compute: float
+    t_stream: float
+    t_latency: float
+    t_sync: float
+    vectorised: bool
+    calibration_factor: float = 1.0
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def dominant_term(self) -> str:
+        terms = {
+            "compute": self.t_compute,
+            "stream": self.t_stream,
+            "latency": self.t_latency,
+            "sync": self.t_sync,
+        }
+        return max(terms, key=terms.__getitem__)
+
+
+class PerformanceModel:
+    """Evaluates the analytic model, optionally with calibration anchors.
+
+    Parameters
+    ----------
+    calibrate:
+        When true (default), per-(machine, kernel) single-core anchors
+        from :mod:`repro.core.calibration` scale predicted times so that
+        the anchored reference points land on the paper's measurements.
+        Turn off to inspect the raw physics.
+    """
+
+    def __init__(self, calibrate: bool = True) -> None:
+        self.calibrate = calibrate
+        self._kappa_cache: dict[tuple[str, str], tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def predict(
+        self,
+        machine: Machine,
+        signature: KernelSignature,
+        compiler: CompilerSpec,
+        n_threads: int,
+        vectorise: bool = True,
+    ) -> Prediction:
+        """Predict execution of one benchmark configuration.
+
+        Raises
+        ------
+        DNRError
+            If the working set does not fit in the machine's DRAM.
+        ValueError
+            For thread counts the machine cannot supply.
+        """
+        machine.validate_thread_count(n_threads)
+        if not machine.memory.fits(int(signature.working_set_bytes)):
+            raise DNRError(
+                f"{signature.display} class {signature.npb_class} needs "
+                f"{signature.working_set_bytes / 2**30:.2f} GiB but "
+                f"{machine.label} has only "
+                f"{machine.memory.capacity_bytes / 2**30:.0f} GiB DRAM"
+            )
+
+        raw = self._raw_time(machine, signature, compiler, n_threads, vectorise)
+        if self.calibrate:
+            alpha, kappa = self._calibration_factors(machine, signature)
+        else:
+            alpha, kappa = 1.0, 1.0
+        t_comp = raw["compute"] * alpha
+        time_s = (max(t_comp, raw["stream"]) + raw["latency"] + raw["sync"]) * kappa
+        mops = signature.total_mops / time_s
+
+        return Prediction(
+            machine=machine.name,
+            kernel=signature.name,
+            npb_class=signature.npb_class,
+            n_threads=n_threads,
+            time_s=time_s,
+            mops=mops,
+            t_compute=t_comp * kappa,
+            t_stream=raw["stream"] * kappa,
+            t_latency=raw["latency"] * kappa,
+            t_sync=raw["sync"] * kappa,
+            vectorised=raw["vectorised"],
+            calibration_factor=alpha * kappa,
+            notes=tuple(raw["notes"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Cost terms
+    # ------------------------------------------------------------------
+
+    def _raw_time(
+        self,
+        machine: Machine,
+        sig: KernelSignature,
+        compiler: CompilerSpec,
+        n: int,
+        vectorise: bool,
+    ) -> dict:
+        notes: list[str] = []
+
+        # --- cache fit: how much of the nominal traffic reaches DRAM ----
+        cache_bytes = machine.effective_cache_bytes_per_thread(n) * n
+        spill = self._spill_fraction(sig.working_set_bytes, cache_bytes)
+
+        # --- compute ----------------------------------------------------
+        outcome = vectorisation_outcome(
+            compiler,
+            machine.core.vector,
+            sig.name,
+            sig.vec_fraction,
+            vectorise,
+            gather_pathology=sig.gather_pathology,
+        )
+        if vectorise and not outcome.legal and machine.core.has_vector:
+            notes.append(
+                f"{compiler.display} cannot target "
+                f"{machine.core.vector.standard.value}; scalar code emitted"
+            )
+
+        rate_per_core = (
+            machine.scalar_rate_per_core()
+            * compiler.scalar_quality_for(sig.name)
+            * outcome.compute_multiplier
+        )
+        n_eff = self._effective_threads(sig, machine, n)
+        t_compute = sig.total_instructions / (n_eff * rate_per_core)
+
+        # --- streaming bandwidth -----------------------------------------
+        # The compiler's saturation quality scales the *ceilings*: poorly
+        # scheduled memory code extracts less of the saturated subsystem
+        # but is indistinguishable while a single core is the bottleneck.
+        satq = compiler.saturation_quality_for(sig.name)
+        comm_bytes = self._communication_bytes(sig, machine, n)
+        stream_bytes = sig.total_dram_bytes * spill + comm_bytes
+        bw_demand = n * machine.memory.per_core_stream_bw_gbs
+        bw = (
+            smoothmin(
+                bw_demand,
+                machine.memory.sustained_bw_gbs * satq,
+                machine.memory.saturation_sharpness,
+            )
+            * 1e9
+        )
+        t_stream = stream_bytes / bw
+
+        # --- random-access latency ---------------------------------------
+        t_latency = self._latency_time(machine, sig, n, spill, cap_scale=satq)
+        t_latency *= outcome.latency_multiplier
+
+        # --- synchronisation ----------------------------------------------
+        n_barriers = sig.comm.barriers_per_mop * sig.total_mops
+        t_sync = n_barriers * machine.barrier_cost_s(n)
+
+        total = max(t_compute, t_stream) + t_latency + t_sync
+        return {
+            "total": total,
+            "compute": t_compute,
+            "stream": t_stream,
+            "latency": t_latency,
+            "sync": t_sync,
+            "vectorised": outcome.applied,
+            "notes": notes,
+        }
+
+    @staticmethod
+    def _spill_fraction(working_set: float, cache_bytes: float) -> float:
+        """Fraction of nominal DRAM traffic that actually reaches DRAM.
+
+        NPB's big kernels sweep their working set with full-set reuse
+        distance, so under (pseudo-)LRU the cache is nearly all-or-nothing:
+        a set slightly larger than cache thrashes completely.  We model a
+        sharp knee -- full spill below ~60% coverage, full residency (bar
+        a 2% compulsory/coherence trickle) once it fits.
+        """
+        if working_set <= 0:
+            raise ValueError("working_set must be positive")
+        ratio = cache_bytes / working_set
+        if ratio >= 1.0:
+            return 0.02
+        if ratio <= 0.6:
+            return 1.0
+        # Narrow transition band: partial tiling/blocking effects.
+        return 1.0 - (1.0 - 0.02) * (ratio - 0.6) / 0.4
+
+    @staticmethod
+    def _effective_threads(sig: KernelSignature, machine: Machine, n: int) -> float:
+        """Amdahl + load-imbalance + machine-side derating of thread count."""
+        if n == 1:
+            return 1.0
+        amdahl = n / (1.0 + sig.serial_fraction * (n - 1))
+        imbalance = max(0.5, 1.0 - sig.imbalance_coeff * math.log2(n))
+        # NUMA remote-touch penalties only bite kernels that touch DRAM.
+        numa_sensitive = sig.dram_bytes_per_op > 0.3
+        return (
+            amdahl
+            * imbalance
+            * machine.parallel_efficiency(n, numa_sensitive=numa_sensitive)
+        )
+
+    @staticmethod
+    def _communication_bytes(sig: KernelSignature, machine: Machine, n: int) -> float:
+        """Inter-thread traffic, which on a shared-memory chip is memory
+        traffic.
+
+        Halo (neighbour) volume grows with the number of partition
+        surfaces, ~ n^(2/3) for 3D decompositions, normalised to the
+        full-chip run the signature was characterised at.  All-to-all
+        transpose volume is essentially constant in n (every element moves
+        once) but pays a NUMA factor when threads span regions.
+        """
+        if n == 1:
+            return 0.0
+        ref = machine.n_cores
+        neighbour = sig.comm.neighbour_bytes * sig.total_ops * (n / ref) ** (2.0 / 3.0)
+        numa_factor = 1.0
+        if machine.topology.numa_regions > 1 and n > machine.topology.cores_per_numa:
+            numa_factor = 1.25
+        alltoall = sig.comm.alltoall_bytes * sig.total_ops * numa_factor
+        return neighbour + alltoall
+
+    @staticmethod
+    def _latency_time(
+        machine: Machine,
+        sig: KernelSignature,
+        n: int,
+        spill: float,
+        cap_scale: float = 1.0,
+    ) -> float:
+        """Random-access (latency-bound) time, serviced hierarchically.
+
+        The randomly-accessed structure (``sig.random_target_bytes``) is
+        split by where it fits:
+
+        * the mid-level cache instance (private or cluster L2) -- serviced
+          at L2 latency, scaling with the number of occupied clusters
+          (CG's x-vector; the SG2044's doubled 2 MB L2 helps exactly here);
+        * the shared last-level cache -- serviced at LLC latency but
+          capped chip-wide by the fabric (the SG2042's crossbar is why IS
+          plateaus at 16 cores there);
+        * DRAM -- capped by the controllers' random-row throughput.
+
+        Contention appears *only* through the smooth-min ceilings;
+        loaded-latency inflation on top would double-count saturation.
+        """
+        total = sig.total_random_accesses * (1.0 - sig.latency_hidden_fraction)
+        if total <= 0.0:
+            return 0.0
+
+        target = sig.effective_random_target_bytes
+        mlp = machine.memory.core_mlp * sig.gather_mlp_factor
+        sharp = machine.memory.saturation_sharpness
+        ghz = machine.clock_ghz
+
+        mid = machine.cache(2) if machine.cache(3) is not None else None
+        llc = machine.last_level_cache
+
+        # Fit fractions (hot-end shares: a structure 2x the cache still
+        # hits for the resident half).
+        fit_mid = 0.0
+        if mid is not None:
+            fit_mid = 0.98 * min(1.0, mid.size_bytes / target)
+        llc_agg = llc.size_bytes * (
+            machine.n_cores // machine.cores_sharing(llc)
+        )
+        fit_llc = max(fit_mid, 0.98 * min(1.0, llc_agg / target))
+        frac_dram = max(1.0 - fit_llc, 0.02 * spill + (1.0 - spill) * 0.0)
+        frac_llc = max(0.0, 1.0 - fit_mid - frac_dram)
+        frac_mid = max(0.0, 1.0 - frac_llc - frac_dram)
+
+        time = 0.0
+        if frac_mid > 0.0 and mid is not None:
+            lat_s = mid.latency_cycles / ghz * 1e-9
+            demand = n * mlp / lat_s
+            # One line every ~3 cycles per L2 instance.
+            sharers = machine.cores_sharing(mid)
+            instances = -(-n // sharers)
+            cap = instances * machine.clock_hz / 3.0
+            time += frac_mid * total / smoothmin(demand, cap, sharp)
+        if frac_llc > 0.0:
+            lat_s = llc.latency_cycles / ghz * 1e-9
+            demand = n * mlp / lat_s
+            cap = (
+                machine.memory.random_rate_cap()
+                * machine.memory.llc_random_boost
+                * cap_scale
+            )
+            time += frac_llc * total / smoothmin(demand, cap, sharp)
+        if frac_dram > 0.0:
+            lat_s = machine.memory.idle_latency_ns * 1e-9
+            demand = n * mlp / lat_s
+            cap = machine.memory.random_rate_cap() * cap_scale
+            time += frac_dram * total / smoothmin(demand, cap, sharp)
+        return time
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    def _calibration_factors(
+        self, machine: Machine, sig: KernelSignature
+    ) -> tuple[float, float]:
+        key = (machine.name, sig.name)
+        if key in self._kappa_cache:
+            return self._kappa_cache[key]
+        # Imported here to avoid a cycle (calibration builds signatures).
+        from . import calibration
+
+        factors = calibration.calibration_factors(machine, sig.name, self)
+        self._kappa_cache[key] = factors
+        return factors

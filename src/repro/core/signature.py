@@ -1,0 +1,186 @@
+"""Workload signatures: the resource footprint of one benchmark.
+
+The paper's whole analysis is organised around each NPB kernel's resource
+signature (its Table 1): IS is memory-latency bound with random access, MG
+is bandwidth bound, EP is compute bound, CG mixes irregular access with
+nearest-neighbour communication, FT adds all-to-all transposes, and the
+pseudo-apps BT/LU/SP blend all of it.  A :class:`KernelSignature` captures
+exactly those axes, per problem class, in machine-independent units; the
+performance model in :mod:`repro.core.perfmodel` combines it with a
+:class:`~repro.machines.Machine` to predict execution time.
+
+Units convention: everything is normalised *per counted operation* (the
+"op" in NPB's Mop/s), so predicted Mop/s is ``1e-6 / time_per_op``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelSignature", "CommPattern"]
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """Inter-thread communication per counted op.
+
+    ``neighbour_bytes``: bytes exchanged with adjacent threads (CG's
+    nearest-neighbour reductions, MG's halo exchanges).
+    ``alltoall_bytes``: bytes crossing the chip in all-to-all transposes
+    (FT's parallel data transposition).
+    ``barriers_per_mop``: OpenMP barrier/reduction events per million ops
+    (parallel-region fan-in/fan-out; dominates at high thread counts for
+    short iterations).
+    """
+
+    neighbour_bytes: float = 0.0
+    alltoall_bytes: float = 0.0
+    barriers_per_mop: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.neighbour_bytes < 0 or self.alltoall_bytes < 0:
+            raise ValueError("communication volumes must be non-negative")
+        if self.barriers_per_mop < 0:
+            raise ValueError("barriers_per_mop must be non-negative")
+
+
+@dataclass(frozen=True)
+class KernelSignature:
+    """Machine-independent resource footprint of one benchmark at one class.
+
+    Parameters
+    ----------
+    name / display:
+        Registry id ("cg") and paper spelling ("CG").
+    npb_class:
+        Problem class letter ("S", "W", "A", "B", "C").
+    total_mops:
+        Total counted operations, in millions (the Mop/s denominator is
+        derived from this and predicted time).
+    work_per_op:
+        Dynamic scalar instructions retired per counted op with reference
+        scalar code.  This is the compute-side unit cost; per-machine
+        residuals are absorbed by :mod:`repro.core.calibration`.
+    dram_bytes_per_op:
+        Streaming DRAM traffic per op once the working set spills past the
+        last-level cache (0 for cache-resident kernels like EP).
+    random_access_per_op:
+        Latency-bound cache-line misses per op that the prefetcher cannot
+        hide (IS's indirect histogram updates, CG's gathers).
+    working_set_bytes:
+        Resident data footprint; compared against cache capacity and
+        installed DRAM (the AllWinner D1 "DNR" case).
+    vec_fraction:
+        Fraction of compute inside auto-vectorisable loops.
+    gather_pathology:
+        Strength in [0, 1] of the Section 6 RVV indexed-gather pathology
+        (only CG is materially afflicted).
+    serial_fraction:
+        Amdahl non-parallelisable fraction.
+    imbalance_coeff:
+        Load-imbalance growth with threads: efficiency loses
+        ``imbalance_coeff * log2(n)`` (boundary threads, uneven buckets).
+    comm:
+        Inter-thread communication pattern.
+    latency_hidden_fraction:
+        Fraction of the random-access latency the core overlaps with
+        useful work (out-of-order window + software pipelining).
+    random_target_bytes:
+        Size of the structure the random accesses land in (IS's rank
+        histogram, CG's solution vector).  Defaults to the whole working
+        set; when the target fits a cache level, random accesses are
+        serviced there (CG's x-vector lives in the cluster L2 -- which is
+        why the paper credits the SG2044's doubled L2 for CG gains).
+    gather_mlp_factor:
+        Fraction of the core's miss-level parallelism usable by these
+        accesses.  Dependency-chained gathers (load col[k], then
+        x[col[k]]) cannot fill the miss queue; independent histogram
+        updates can.
+    """
+
+    name: str
+    display: str
+    npb_class: str
+    total_mops: float
+    work_per_op: float
+    dram_bytes_per_op: float
+    random_access_per_op: float
+    working_set_bytes: float
+    vec_fraction: float = 0.0
+    gather_pathology: float = 0.0
+    serial_fraction: float = 1e-4
+    imbalance_coeff: float = 0.004
+    comm: CommPattern = field(default_factory=CommPattern)
+    latency_hidden_fraction: float = 0.0
+    random_target_bytes: float | None = None
+    gather_mlp_factor: float = 1.0
+    #: Where the single-core calibration residual physically lives:
+    #: "compute" -- core-side stalls, parallelise with threads (EP and the
+    #: pseudo-apps, whose per-point work dwarfs their traffic);
+    #: "time" -- distributed across all terms proportionally (the memory-
+    #: centric kernels, whose residual is interleaved with the saturating
+    #: memory behaviour itself).
+    residual_attribution: str = "time"
+
+    def __post_init__(self) -> None:
+        if self.npb_class not in ("S", "W", "A", "B", "C", "D"):
+            raise ValueError(f"unknown NPB class {self.npb_class!r}")
+        if self.total_mops <= 0:
+            raise ValueError("total_mops must be positive")
+        if self.work_per_op <= 0:
+            raise ValueError("work_per_op must be positive")
+        if self.dram_bytes_per_op < 0 or self.random_access_per_op < 0:
+            raise ValueError("traffic terms must be non-negative")
+        if self.working_set_bytes <= 0:
+            raise ValueError("working_set_bytes must be positive")
+        if not 0.0 <= self.vec_fraction <= 1.0:
+            raise ValueError("vec_fraction must be in [0, 1]")
+        if not 0.0 <= self.gather_pathology <= 1.0:
+            raise ValueError("gather_pathology must be in [0, 1]")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError("serial_fraction must be in [0, 1)")
+        if self.imbalance_coeff < 0:
+            raise ValueError("imbalance_coeff must be non-negative")
+        if not 0.0 <= self.latency_hidden_fraction < 1.0:
+            raise ValueError("latency_hidden_fraction must be in [0, 1)")
+        if self.random_target_bytes is not None and self.random_target_bytes <= 0:
+            raise ValueError("random_target_bytes must be positive when set")
+        if not 0.0 < self.gather_mlp_factor <= 1.0:
+            raise ValueError("gather_mlp_factor must be in (0, 1]")
+        if self.residual_attribution not in ("compute", "time"):
+            raise ValueError("residual_attribution must be 'compute' or 'time'")
+
+    @property
+    def total_ops(self) -> float:
+        return self.total_mops * 1e6
+
+    @property
+    def total_instructions(self) -> float:
+        """Dynamic scalar instruction count for the whole run."""
+        return self.total_ops * self.work_per_op
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return self.total_ops * self.dram_bytes_per_op
+
+    @property
+    def total_random_accesses(self) -> float:
+        return self.total_ops * self.random_access_per_op
+
+    @property
+    def effective_random_target_bytes(self) -> float:
+        if self.random_target_bytes is not None:
+            return self.random_target_bytes
+        return self.working_set_bytes
+
+    def memory_character(self) -> str:
+        """Coarse classification echoing the paper's Table 1 narrative."""
+        lat = self.random_access_per_op
+        bw = self.dram_bytes_per_op
+        if lat < 1e-3 and bw < 1.0:
+            return "compute-bound"
+        if lat >= 0.05 and lat * 64 > bw:
+            return "latency-bound"
+        if bw >= 8.0:
+            return "bandwidth-bound"
+        return "mixed"

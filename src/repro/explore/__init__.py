@@ -1,0 +1,16 @@
+"""Design-space exploration: upgrade ablations and roofline analysis."""
+
+from .roofline import RooflinePoint, peak_gflops, ridge_intensity, roofline_point
+from .whatif import UPGRADES, UpgradeStep, ablate_upgrade, upgrade_ladder, variant
+
+__all__ = [
+    "RooflinePoint",
+    "UPGRADES",
+    "UpgradeStep",
+    "ablate_upgrade",
+    "peak_gflops",
+    "ridge_intensity",
+    "roofline_point",
+    "upgrade_ladder",
+    "variant",
+]

@@ -1,0 +1,88 @@
+"""Roofline analysis over the machine catalog.
+
+The classic two-ceiling model: attainable flops = min(peak compute,
+arithmetic intensity x sustained bandwidth).  Applied to the paper's
+machines it visualises the whole story in one number per (machine,
+kernel): every NPB kernel except EP sits left of the SG2042's ridge
+point (memory-bound there), while the SG2044's 3x bandwidth moves its
+ridge far enough left that MG/FT become borderline and EP-like codes stay
+compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.signature import KernelSignature
+from repro.machines.machine import Machine
+
+__all__ = ["RooflinePoint", "peak_gflops", "ridge_intensity", "roofline_point"]
+
+
+def peak_gflops(machine: Machine, n_cores: int | None = None, vectorised: bool = True) -> float:
+    """Peak double-precision Gflop/s of ``n_cores`` (default: whole chip)."""
+    n = n_cores if n_cores is not None else machine.n_cores
+    machine.validate_thread_count(n)
+    per_cycle = (
+        machine.core.peak_vector_flops_per_cycle()
+        if vectorised and machine.core.has_vector
+        else machine.core.scalar_flops_per_cycle()
+    )
+    per_cycle = max(per_cycle, machine.core.scalar_flops_per_cycle())
+    return n * per_cycle * machine.clock_hz / 1e9
+
+
+def ridge_intensity(machine: Machine, n_cores: int | None = None) -> float:
+    """Arithmetic intensity (flop/byte) at which compute and bandwidth
+    ceilings meet.  Left of this, a kernel is memory-bound."""
+    n = n_cores if n_cores is not None else machine.n_cores
+    bw = machine.memory.stream_bw_gbs(n)
+    return peak_gflops(machine, n) / bw
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on one machine's roofline."""
+
+    machine: str
+    kernel: str
+    arithmetic_intensity: float  # flop/byte of DRAM traffic
+    attainable_gflops: float
+    memory_bound: bool
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_bound else "compute"
+
+
+def roofline_point(
+    machine: Machine, signature: KernelSignature, n_cores: int | None = None
+) -> RooflinePoint:
+    """Place a kernel signature on a machine's roofline.
+
+    Arithmetic intensity uses the signature's flop estimate over its DRAM
+    traffic; signatures with (near-)zero traffic are treated as infinitely
+    intense, i.e. compute-bound (EP).
+    """
+    n = n_cores if n_cores is not None else machine.n_cores
+    flops = signature.total_mops * 1e6  # counted ops ~ flops for NPB
+    traffic = signature.total_dram_bytes
+    peak = peak_gflops(machine, n)
+    if traffic <= 0:
+        return RooflinePoint(
+            machine=machine.name,
+            kernel=signature.name,
+            arithmetic_intensity=float("inf"),
+            attainable_gflops=peak,
+            memory_bound=False,
+        )
+    intensity = flops / traffic
+    bw = machine.memory.stream_bw_gbs(n)
+    attainable = min(peak, intensity * bw)
+    return RooflinePoint(
+        machine=machine.name,
+        kernel=signature.name,
+        arithmetic_intensity=intensity,
+        attainable_gflops=attainable,
+        memory_bound=attainable < peak,
+    )

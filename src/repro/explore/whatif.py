@@ -1,0 +1,146 @@
+"""Design-space exploration: which SG2044 upgrade bought what?
+
+The paper attributes the SG2044's gains to a list of upgrades over the
+SG2042 -- 32 vs 4 memory controllers/channels, DDR5 vs DDR4, RVV 1.0
+(hence mainline compilers) vs 0.7.1, 2 MB vs 1 MB cluster L2, 2.6 vs
+2.0 GHz -- but hardware can only be measured as shipped.  A model can be
+*ablated*: this module builds hypothetical machines that apply the
+upgrades one at a time and quantifies each one's contribution per
+benchmark.
+
+The headline finding it reproduces (see ``bench_ablation_upgrades.py``):
+the memory-subsystem upgrade dominates IS/MG at 64 cores, the clock bump
+dominates EP everywhere, and RVV 1.0 mostly matters because it unlocks
+*mainline compilers*, not because 128-bit vectors are fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.compilers.gcc import get_compiler
+from repro.core.perfmodel import PerformanceModel
+from repro.machines.catalog import get_machine
+from repro.machines.machine import Machine
+from repro.npb.signatures import signature_for
+
+__all__ = [
+    "variant",
+    "UPGRADES",
+    "upgrade_ladder",
+    "ablate_upgrade",
+    "UpgradeStep",
+]
+
+
+def variant(base: Machine, name: str, **overrides) -> Machine:
+    """A renamed copy of ``base`` with dataclass-field overrides.
+
+    Nested models (``memory``, ``core``, ``topology``) are replaced
+    wholesale -- compose with :func:`dataclasses.replace` on the parts.
+    """
+    return replace(base, name=name, label=f"{base.label} [{name}]", **overrides)
+
+
+class UpgradeStep:
+    """One named upgrade: a transform from a machine to a better one."""
+
+    def __init__(
+        self, key: str, description: str, apply: Callable[[Machine], Machine]
+    ) -> None:
+        self.key = key
+        self.description = description
+        self.apply = apply
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UpgradeStep({self.key!r})"
+
+
+def _clock(machine: Machine) -> Machine:
+    return variant(machine, f"{machine.name}+clock", clock_hz=2.6e9)
+
+
+def _memory(machine: Machine) -> Machine:
+    sg2044 = get_machine("sg2044")
+    return variant(machine, f"{machine.name}+memory", memory=sg2044.memory)
+
+
+def _l2(machine: Machine) -> Machine:
+    sg2044 = get_machine("sg2044")
+    return variant(machine, f"{machine.name}+l2", caches=sg2044.caches)
+
+
+def _rvv10(machine: Machine) -> Machine:
+    # RVV 1.0 = the C920v2 core (same width, ratified standard) *and*
+    # access to mainline GCC 15.2 -- the compiler is the real upgrade.
+    sg2044 = get_machine("sg2044")
+    return variant(
+        machine,
+        f"{machine.name}+rvv10",
+        core=sg2044.core,
+        os_noise_coeff=sg2044.os_noise_coeff,
+    )
+
+
+#: The SG2042 -> SG2044 upgrade list from the paper's Section 2.1, as
+#: individually applicable steps.
+UPGRADES: tuple[UpgradeStep, ...] = (
+    UpgradeStep("clock", "2.0 -> 2.6 GHz", _clock),
+    UpgradeStep("memory", "4ch DDR4 -> 32ch DDR5 subsystem", _memory),
+    UpgradeStep("l2", "1 MB -> 2 MB cluster L2", _l2),
+    UpgradeStep("rvv10", "RVV 0.7.1 -> 1.0 (mainline compilers)", _rvv10),
+)
+
+
+def _mops(machine: Machine, kernel: str, n_threads: int, compiler_name: str) -> float:
+    """Uncalibrated model rate (hypothetical machines have no anchors)."""
+    model = PerformanceModel(calibrate=False)
+    sig = signature_for(kernel, "C")
+    vectorise = kernel != "cg"
+    pred = model.predict(
+        machine, sig, get_compiler(compiler_name), n_threads, vectorise
+    )
+    return pred.mops
+
+
+def upgrade_ladder(
+    kernel: str, n_threads: int = 64, order: tuple[str, ...] | None = None
+) -> list[tuple[str, float, float]]:
+    """Apply the upgrades cumulatively from the SG2042 toward the SG2044.
+
+    Returns ``[(step_key, mops, gain_over_previous), ...]`` starting from
+    the baseline SG2042.  The compiler switches from the XuanTie fork to
+    mainline GCC 15.2 at the ``rvv10`` step (that is the point of it).
+    """
+    steps = {u.key: u for u in UPGRADES}
+    sequence = order or tuple(steps)
+    unknown = set(sequence) - set(steps)
+    if unknown:
+        raise KeyError(f"unknown upgrade steps: {sorted(unknown)}")
+
+    machine = get_machine("sg2042")
+    compiler = "xuantie-gcc-8.4"
+    rows: list[tuple[str, float, float]] = []
+    prev = _mops(machine, kernel, n_threads, compiler)
+    rows.append(("baseline-sg2042", prev, 1.0))
+    for key in sequence:
+        machine = steps[key].apply(machine)
+        if key == "rvv10":
+            compiler = "gcc-15.2"
+        current = _mops(machine, kernel, n_threads, compiler)
+        rows.append((key, current, current / prev))
+        prev = current
+    return rows
+
+
+def ablate_upgrade(kernel: str, key: str, n_threads: int = 64) -> float:
+    """Marginal value of one upgrade: full SG2044 path vs path without it.
+
+    Returns the speedup factor the step contributes when added last (so
+    interactions with the other upgrades are already in the baseline).
+    """
+    others = tuple(u.key for u in UPGRADES if u.key != key)
+    without = upgrade_ladder(kernel, n_threads, order=others)[-1][1]
+    full = upgrade_ladder(kernel, n_threads, order=others + (key,))[-1][1]
+    return full / without

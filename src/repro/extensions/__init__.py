@@ -1,0 +1,18 @@
+"""Section 7 future-work extensions: HPL, HPCG, and an LLVM study."""
+
+from .hpcg import HPCGResult, build_poisson27, hpcg_signature, run_hpcg_host
+from .hpl import HPLResult, hpl_signature, lu_factor_blocked, run_hpl_host
+from .llvm_study import LLVMComparisonRow, llvm_vs_gcc
+
+__all__ = [
+    "HPCGResult",
+    "HPLResult",
+    "LLVMComparisonRow",
+    "build_poisson27",
+    "hpcg_signature",
+    "hpl_signature",
+    "llvm_vs_gcc",
+    "lu_factor_blocked",
+    "run_hpcg_host",
+    "run_hpl_host",
+]

@@ -1,0 +1,21 @@
+"""Regenerators for every table and figure in the paper's evaluation."""
+
+from .export import export_all
+from .figures import FIGURE_BUILDERS, FigureResult, build_figure
+from .report import render_csv, render_table
+from .scorecard import Score, scorecard
+from .tables import TABLE_BUILDERS, TableResult, build_table
+
+__all__ = [
+    "FIGURE_BUILDERS",
+    "FigureResult",
+    "TABLE_BUILDERS",
+    "TableResult",
+    "build_figure",
+    "build_table",
+    "export_all",
+    "Score",
+    "scorecard",
+    "render_csv",
+    "render_table",
+]

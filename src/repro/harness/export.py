@@ -1,0 +1,60 @@
+"""Bulk export: write every regenerated table and figure to a directory.
+
+``python -m repro export out/`` produces one CSV per table and figure
+(ready for pandas/matplotlib/gnuplot) plus an ``INDEX.md`` mapping files
+to the paper's artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .figures import FIGURE_BUILDERS
+from .tables import TABLE_BUILDERS
+
+__all__ = ["export_all"]
+
+
+def export_all(
+    directory: str | Path,
+    tables: tuple[int, ...] | None = None,
+    figures: tuple[int, ...] | None = None,
+) -> list[Path]:
+    """Regenerate and write the selected artefacts; returns written paths.
+
+    Defaults to everything (Tables 1-8, Figures 1-6).  Existing files are
+    overwritten -- outputs are deterministic, so that is idempotent.
+    """
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    table_numbers = tables if tables is not None else tuple(sorted(TABLE_BUILDERS))
+    figure_numbers = figures if figures is not None else tuple(sorted(FIGURE_BUILDERS))
+
+    written: list[Path] = []
+    index_lines = [
+        "# Regenerated artefacts",
+        "",
+        "| file | paper artefact |",
+        "|---|---|",
+    ]
+    for n in table_numbers:
+        if n not in TABLE_BUILDERS:
+            raise KeyError(f"no table {n} (paper has 1-8)")
+        result = TABLE_BUILDERS[n]()
+        path = out / f"table{n}.csv"
+        path.write_text(result.to_csv())
+        written.append(path)
+        index_lines.append(f"| `{path.name}` | Table {n}: {result.title} |")
+    for n in figure_numbers:
+        if n not in FIGURE_BUILDERS:
+            raise KeyError(f"no figure {n} (paper has 1-6)")
+        fig = FIGURE_BUILDERS[n]()
+        path = out / f"figure{n}.csv"
+        path.write_text(fig.to_csv())
+        written.append(path)
+        index_lines.append(f"| `{path.name}` | Figure {n}: {fig.title} |")
+
+    index = out / "INDEX.md"
+    index.write_text("\n".join(index_lines) + "\n")
+    written.append(index)
+    return written

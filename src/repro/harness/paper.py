@@ -1,0 +1,142 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Every regenerator can print (and every test can assert against) the
+model-vs-paper comparison without re-reading the PDF.  Values are exactly
+as printed in the paper; Mop/s throughout.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "TABLE6",
+    "TABLE7",
+    "TABLE8",
+    "KERNELS",
+    "PSEUDO_APPS",
+]
+
+KERNELS = ("is", "mg", "ep", "cg", "ft")
+PSEUDO_APPS = ("bt", "lu", "sp")
+
+#: kernel -> (cache-stall %, DDR-stall %, time-DDR-bandwidth-bound %).
+TABLE1 = {
+    "is": (35, 0, 16),
+    "mg": (34, 20, 88),
+    "ep": (11, 0, 0),
+    "cg": (19, 18, 0),
+    "ft": (13, 9, 18),
+    "bt": (8, 9, 0),
+    "lu": (12, 11, 0),
+    "sp": (20, 21, 0),
+}
+
+#: kernel -> machine -> Mop/s (class B, single core); None = DNR.
+TABLE2 = {
+    "is": {
+        "sg2044": 64.68,
+        "visionfive2": 17.84,
+        "visionfive1": 6.36,
+        "hifive-u740": 9.09,
+        "allwinner-d1": 5.41,
+        "bananapi-f3": 22.66,
+        "milkv-jupiter": 24.75,
+    },
+    "mg": {
+        "sg2044": 1472.32,
+        "visionfive2": 288.65,
+        "visionfive1": 72.31,
+        "hifive-u740": 90.28,
+        "allwinner-d1": 163.19,
+        "bananapi-f3": 306.78,
+        "milkv-jupiter": 335.38,
+    },
+    "ep": {
+        "sg2044": 40.75,
+        "visionfive2": 12.01,
+        "visionfive1": 7.55,
+        "hifive-u740": 9.08,
+        "allwinner-d1": 9.23,
+        "bananapi-f3": 18.17,
+        "milkv-jupiter": 20.4,
+    },
+    "cg": {
+        "sg2044": 269.37,
+        "visionfive2": 43.61,
+        "visionfive1": 21.96,
+        "hifive-u740": 29.09,
+        "allwinner-d1": 12.99,
+        "bananapi-f3": 23.71,
+        "milkv-jupiter": 24.42,
+    },
+    "ft": {
+        "sg2044": 1296.22,
+        "visionfive2": 245.99,
+        "visionfive1": 88.35,
+        "hifive-u740": 116.59,
+        "allwinner-d1": None,  # 1 GB DRAM: Did Not Run
+        "bananapi-f3": 362.8,
+        "milkv-jupiter": 388.24,
+    },
+}
+
+#: kernel -> (SG2044 Mop/s, SG2042 Mop/s) at class C, single core.
+TABLE3 = {
+    "is": (63.63, 58.87),
+    "mg": (1382.91, 1175.69),
+    "ep": (40.76, 31.36),
+    "cg": (213.82, 173.39),
+    "ft": (1023.83, 797.09),
+}
+
+#: kernel -> (SG2044 Mop/s, SG2042 Mop/s) at class C, 64 cores.
+TABLE4 = {
+    "is": (3038.14, 618.50),
+    "mg": (32457.83, 14397.69),
+    "ep": (2538.38, 1675.25),
+    "cg": (7728.80, 3508.95),
+    "ft": (22582.2, 8317.91),
+}
+
+#: app -> cores -> machine -> times-faster-than-SG2044 (None = not run).
+TABLE6 = {
+    "bt": {
+        16: {"sg2042": 0.79, "epyc7742": 2.56, "skylake8170": 2.60, "thunderx2": 1.92},
+        26: {"sg2042": 0.66, "epyc7742": 2.35, "skylake8170": 1.95, "thunderx2": 1.77},
+        32: {"sg2042": 0.66, "epyc7742": 2.41, "skylake8170": None, "thunderx2": 1.73},
+        64: {"sg2042": 0.45, "epyc7742": 1.90, "skylake8170": None, "thunderx2": None},
+    },
+    "lu": {
+        16: {"sg2042": 0.85, "epyc7742": 3.09, "skylake8170": 3.52, "thunderx2": 2.43},
+        26: {"sg2042": 0.88, "epyc7742": 2.80, "skylake8170": 2.77, "thunderx2": 2.29},
+        32: {"sg2042": 0.81, "epyc7742": 2.76, "skylake8170": None, "thunderx2": 2.39},
+        64: {"sg2042": 0.69, "epyc7742": 2.05, "skylake8170": None, "thunderx2": None},
+    },
+    "sp": {
+        16: {"sg2042": 0.79, "epyc7742": 3.99, "skylake8170": 3.07, "thunderx2": 2.87},
+        26: {"sg2042": 0.57, "epyc7742": 3.56, "skylake8170": 1.99, "thunderx2": 2.05},
+        32: {"sg2042": 0.63, "epyc7742": 3.30, "skylake8170": None, "thunderx2": 2.02},
+        64: {"sg2042": 0.48, "epyc7742": 2.05, "skylake8170": None, "thunderx2": None},
+    },
+}
+
+#: kernel -> (GCC 12.3.1, GCC 15.2 vec, GCC 15.2 no-vec), class C, 1 core.
+TABLE7 = {
+    "is": (62.94, 63.63, 62.75),
+    "mg": (1373.31, 1382.92, 1300.27),
+    "ep": (40.56, 40.76, 40.75),
+    "cg": (210.06, 81.19, 217.53),
+    "ft": (887.43, 1023.83, 982.93),
+}
+
+#: Same layout, 64 cores.
+TABLE8 = {
+    "is": (2255.72, 3038.14, 3024.63),
+    "mg": (32186.04, 32457.83, 31892.70),
+    "ep": (2529.91, 2542.53, 2538.38),
+    "cg": (7709.53, 4463.18, 7728.80),
+    "ft": (20796.20, 22582.20, 21282.00),
+}

@@ -1,0 +1,65 @@
+"""Rendering: ASCII tables and CSV for the regenerated tables/figures."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_csv", "format_value"]
+
+
+def format_value(v: object, digits: int = 2) -> str:
+    """Human formatting: floats trimmed, None/DNR handling."""
+    if v is None:
+        return "DNR"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 10000:
+            return f"{v:,.0f}"
+        return f"{v:.{digits}f}"
+    return str(v)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    digits: int = 2,
+) -> str:
+    """Monospace table with a title rule, GitHub-ish style."""
+    if not headers:
+        raise ValueError("need at least one column")
+    str_rows = [[format_value(v, digits) for v in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = io.StringIO()
+    out.write(f"== {title} ==\n")
+    out.write("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in str_rows:
+        out.write("  ".join(v.rjust(w) for v, w in zip(r, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def render_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain CSV (no quoting needed for our numeric tables)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        cells = []
+        for v in row:
+            s = "DNR" if v is None else (f"{v:.6g}" if isinstance(v, float) else str(v))
+            if "," in s:
+                raise ValueError(f"cell {s!r} would need quoting")
+            cells.append(s)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,133 @@
+"""Reproduction scorecard: quantified model-vs-paper agreement.
+
+Computes, for every table with published numbers, the mean and maximum
+absolute relative error of the model against the paper, separating
+*anchored* quantities (calibrated single-core points -- must be ~0) from
+*emergent* ones (multi-core rates, ratios, stall percentages -- the actual
+test of the model).  ``python -m repro score`` prints it; the test suite
+pins acceptable bounds so a regression in any subsystem shows up as a
+score change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cachesim.stats import table1_profile
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.perfmodel import DNRError
+
+from . import paper
+
+__all__ = ["Score", "scorecard"]
+
+
+@dataclass(frozen=True)
+class Score:
+    """Error statistics for one group of compared quantities."""
+
+    name: str
+    n_points: int
+    mean_abs_rel_err: float
+    max_abs_rel_err: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.name:<28} {self.n_points:>3} pts  "
+            f"mean {100 * self.mean_abs_rel_err:5.1f}%  "
+            f"max {100 * self.max_abs_rel_err:5.1f}%"
+        )
+
+
+def _score(name: str, pairs: list[tuple[float, float]]) -> Score:
+    """Relative errors of (model, paper) pairs (paper as denominator)."""
+    if not pairs:
+        raise ValueError(f"no comparison points for {name}")
+    errs = [abs(m - p) / abs(p) for m, p in pairs if p != 0]
+    return Score(
+        name=name,
+        n_points=len(errs),
+        mean_abs_rel_err=sum(errs) / len(errs),
+        max_abs_rel_err=max(errs),
+    )
+
+
+def scorecard(table1_accesses: int = 40_000) -> list[Score]:
+    """Compute the full scorecard (anchored and emergent groups)."""
+    runner = ExperimentRunner(noise_cv=0.0)
+
+    def mops(machine, kernel, n, npb_class="C", **kw):
+        kw.setdefault("vectorise", kernel != "cg")
+        try:
+            return runner.run(
+                ExperimentConfig(
+                    machine=machine,
+                    kernel=kernel,
+                    npb_class=npb_class,
+                    n_threads=n,
+                    **kw,
+                )
+            ).mean_mops
+        except DNRError:
+            return None
+
+    scores: list[Score] = []
+
+    # Table 1 (emergent): stall percentages, absolute-points error scaled
+    # to a 0-100 range treated as relative to 100.
+    profiles = table1_profile(n_accesses=table1_accesses)
+    pairs = []
+    for kernel, (pc, pd, pb) in paper.TABLE1.items():
+        mc, md, mb = profiles[kernel].as_percentages()
+        pairs.extend([(mc + 100.0, pc + 100.0), (md + 100.0, pd + 100.0), (mb + 100.0, pb + 100.0)])
+    scores.append(_score("Table 1 stall profile", pairs))
+
+    # Tables 2/3 (anchored single-core points).
+    pairs = []
+    for kernel, row in paper.TABLE2.items():
+        for machine, expected in row.items():
+            if expected is None or machine == "sg2044":
+                continue
+            got = mops(machine, kernel, 1, npb_class="B")
+            pairs.append((got, expected))
+    for kernel, (a, b) in paper.TABLE3.items():
+        pairs.append((mops("sg2044", kernel, 1), a))
+        pairs.append((mops("sg2042", kernel, 1), b))
+    scores.append(_score("Tables 2+3 (anchored)", pairs))
+
+    # Table 4 (emergent 64-core rates).
+    pairs = []
+    for kernel, (a, b) in paper.TABLE4.items():
+        pairs.append((mops("sg2044", kernel, 64), a))
+        pairs.append((mops("sg2042", kernel, 64), b))
+    scores.append(_score("Table 4 (64-core, emergent)", pairs))
+
+    # Table 6 (emergent ratios).
+    pairs = []
+    for app, by_cores in paper.TABLE6.items():
+        for cores, row in by_cores.items():
+            base = mops("sg2044", app, cores)
+            for machine, expected in row.items():
+                if expected is None:
+                    continue
+                got = mops(machine, app, cores)
+                pairs.append((got / base, expected))
+    scores.append(_score("Table 6 (ratios, emergent)", pairs))
+
+    # Tables 7/8 (compiler deltas; 12.3.1 scalar cells are fitted, the
+    # vec/no-vec columns and all 64-core behaviour are emergent).
+    pairs = []
+    for n, table in ((1, paper.TABLE7), (64, paper.TABLE8)):
+        for kernel, (old, vec, novec) in table.items():
+            pairs.append(
+                (mops("sg2044", kernel, n, compiler="gcc-12.3.1", vectorise=True), old)
+            )
+            pairs.append(
+                (mops("sg2044", kernel, n, compiler="gcc-15.2", vectorise=True), vec)
+            )
+            pairs.append(
+                (mops("sg2044", kernel, n, compiler="gcc-15.2", vectorise=False), novec)
+            )
+    scores.append(_score("Tables 7+8 (compilers)", pairs))
+
+    return scores

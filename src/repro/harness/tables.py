@@ -1,0 +1,308 @@
+"""Regenerators for every table in the paper's evaluation.
+
+Each ``tableN()`` returns a :class:`TableResult` carrying the modelled
+rows, the paper's published values alongside, and a renderer.  The
+``benchmarks/`` directory has one pytest-benchmark target per table that
+calls these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cachesim.stats import table1_profile
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.metrics import percent_of, times_faster
+from repro.core.perfmodel import DNRError
+from repro.machines.catalog import (
+    PAPER_RISCV_BOARDS,
+    all_machines,
+    get_machine,
+)
+
+from . import paper
+from .report import render_csv, render_table
+
+__all__ = [
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "TABLE_BUILDERS",
+    "build_table",
+]
+
+
+@dataclass
+class TableResult:
+    """One regenerated table: headers, rows, and provenance."""
+
+    number: int
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        body = render_table(f"Table {self.number}: {self.title}", self.headers, self.rows)
+        if self.notes:
+            body += "".join(f"  note: {n}\n" for n in self.notes)
+        return body
+
+    def to_csv(self) -> str:
+        return render_csv(self.headers, self.rows)
+
+
+def _runner(runs: int = 5) -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+def _mops(
+    runner: ExperimentRunner,
+    machine: str,
+    kernel: str,
+    npb_class: str,
+    n_threads: int,
+    compiler: str | None = None,
+    vectorise: bool | None = None,
+) -> float | None:
+    """Mean Mop/s for a configuration, or None for a DNR."""
+    if vectorise is None:
+        # The paper disables vectorisation for CG (Section 6 pathology).
+        vectorise = kernel != "cg"
+    try:
+        return runner.run(
+            ExperimentConfig(
+                machine=machine,
+                kernel=kernel,
+                npb_class=npb_class,
+                n_threads=n_threads,
+                compiler=compiler,
+                vectorise=vectorise,
+            )
+        ).mean_mops
+    except DNRError:
+        return None
+
+
+# ----------------------------------------------------------------------
+
+
+def table1(n_accesses: int = 60_000) -> TableResult:
+    """NPB memory behaviour on the Xeon 8170 (trace-driven simulation)."""
+    profiles = table1_profile(n_accesses=n_accesses)
+    rows: list[list[object]] = []
+    for kernel in ("is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"):
+        c, d, b = profiles[kernel].as_percentages()
+        pc, pd, pb = paper.TABLE1[kernel]
+        rows.append([kernel.upper(), c, pc, d, pd, b, pb])
+    return TableResult(
+        number=1,
+        title="Memory behaviour of NPB kernels on Xeon Platinum 8170",
+        headers=[
+            "Benchmark",
+            "cache stall %",
+            "(paper)",
+            "DDR stall %",
+            "(paper)",
+            "BW-bound %",
+            "(paper)",
+        ],
+        rows=rows,
+        notes=["trace-driven simulation of a downscaled Skylake-SP hierarchy"],
+    )
+
+
+def table2() -> TableResult:
+    """Single-core RISC-V comparison, class B (incl. the D1's FT DNR)."""
+    runner = _runner()
+    rows: list[list[object]] = []
+    for kernel in paper.KERNELS:
+        ref = _mops(runner, "sg2044", kernel, "B", 1)
+        assert ref is not None
+        row: list[object] = [kernel.upper()]
+        for machine in PAPER_RISCV_BOARDS:
+            mops = _mops(runner, machine, kernel, "B", 1)
+            row.append(mops)
+            if machine != "sg2044":
+                row.append(
+                    None if mops is None else round(percent_of(mops, ref))
+                )
+        rows.append(row)
+    headers = ["Benchmark", "SG2044"]
+    for machine in PAPER_RISCV_BOARDS[1:]:
+        headers += [get_machine(machine).label, "%"]
+    return TableResult(
+        number=2,
+        title="Single-core comparison between RISC-V boards (class B, Mop/s)",
+        headers=headers,
+        rows=rows,
+        notes=["percentages are relative to the SG2044's C920v2 core"],
+    )
+
+
+def table3() -> TableResult:
+    """SG2044 vs SG2042, single core, class C."""
+    runner = _runner()
+    rows: list[list[object]] = []
+    for kernel in paper.KERNELS:
+        a = _mops(runner, "sg2044", kernel, "C", 1)
+        b = _mops(runner, "sg2042", kernel, "C", 1)
+        assert a is not None and b is not None
+        pa, pb = paper.TABLE3[kernel]
+        rows.append(
+            [kernel.upper(), a, b, times_faster(a, b), times_faster(pa, pb)]
+        )
+    return TableResult(
+        number=3,
+        title="SG2044 vs SG2042, single core, class C (Mop/s)",
+        headers=["Benchmark", "SG2044", "SG2042", "times faster", "(paper)"],
+        rows=rows,
+    )
+
+
+def table4() -> TableResult:
+    """SG2044 vs SG2042, 64 cores, class C (the 1.52x-4.91x headline)."""
+    runner = _runner()
+    rows: list[list[object]] = []
+    for kernel in paper.KERNELS:
+        a = _mops(runner, "sg2044", kernel, "C", 64)
+        b = _mops(runner, "sg2042", kernel, "C", 64)
+        assert a is not None and b is not None
+        pa, pb = paper.TABLE4[kernel]
+        rows.append(
+            [kernel.upper(), a, b, times_faster(a, b), times_faster(pa, pb)]
+        )
+    return TableResult(
+        number=4,
+        title="SG2044 vs SG2042, all 64 cores, class C (Mop/s)",
+        headers=["Benchmark", "SG2044", "SG2042", "times faster", "(paper)"],
+        rows=rows,
+    )
+
+
+def table5() -> TableResult:
+    """The CPU overview table (straight from the machine catalog)."""
+    rows: list[list[object]] = []
+    for machine in all_machines():
+        if machine.name not in (
+            "epyc7742",
+            "skylake8170",
+            "thunderx2",
+            "sg2042",
+            "sg2044",
+        ):
+            continue
+        d = machine.describe()
+        rows.append(
+            [d["CPU"], d["ISA"], d["Part"], d["Base clock"], d["Cores"], d["Vector"]]
+        )
+    return TableResult(
+        number=5,
+        title="Overview of the CPUs compared in Section 5",
+        headers=["CPU", "ISA", "Part", "Base clock", "Cores", "Vector"],
+        rows=rows,
+    )
+
+
+def table6() -> TableResult:
+    """Pseudo-app relative runtimes vs the SG2044 at 16/26/32/64 cores."""
+    runner = _runner()
+    rows: list[list[object]] = []
+    machines = ("sg2042", "epyc7742", "skylake8170", "thunderx2")
+    for app in paper.PSEUDO_APPS:
+        for cores in (16, 26, 32, 64):
+            base = _mops(runner, "sg2044", app, "C", cores)
+            assert base is not None
+            row: list[object] = [app.upper(), cores]
+            for m in machines:
+                if cores > get_machine(m).n_cores:
+                    row += [None, paper.TABLE6[app][cores][m]]
+                    continue
+                mops = _mops(runner, m, app, "C", cores)
+                ratio = None if mops is None else times_faster(mops, base)
+                row += [ratio, paper.TABLE6[app][cores][m]]
+            rows.append(row)
+    headers = ["App", "Cores"]
+    for m in machines:
+        headers += [get_machine(m).label, "(paper)"]
+    return TableResult(
+        number=6,
+        title="Times faster than the SG2044 on BT/LU/SP (class C)",
+        headers=headers,
+        rows=rows,
+        notes=["values < 1 mean slower than the SG2044; blank = exceeds core count"],
+    )
+
+
+def _compiler_table(number: int, n_threads: int, paper_table) -> TableResult:
+    runner = _runner()
+    rows: list[list[object]] = []
+    for kernel in paper.KERNELS:
+        old = _mops(
+            runner, "sg2044", kernel, "C", n_threads,
+            compiler="gcc-12.3.1", vectorise=True,
+        )
+        vec = _mops(
+            runner, "sg2044", kernel, "C", n_threads,
+            compiler="gcc-15.2", vectorise=True,
+        )
+        novec = _mops(
+            runner, "sg2044", kernel, "C", n_threads,
+            compiler="gcc-15.2", vectorise=False,
+        )
+        p = paper_table[kernel]
+        rows.append([kernel.upper(), old, p[0], vec, p[1], novec, p[2]])
+    return TableResult(
+        number=number,
+        title=(
+            f"SG2044 compiler/vectorisation comparison, class C, "
+            f"{n_threads} core{'s' if n_threads > 1 else ''} (Mop/s)"
+        ),
+        headers=[
+            "Benchmark",
+            "GCC 12.3.1",
+            "(paper)",
+            "GCC 15.2 vec",
+            "(paper)",
+            "GCC 15.2 no-vec",
+            "(paper)",
+        ],
+        rows=rows,
+        notes=["the CG vec column is the Section 6 RVV gather pathology"],
+    )
+
+
+def table7() -> TableResult:
+    """Compiler versions and vectorisation, single core."""
+    return _compiler_table(7, 1, paper.TABLE7)
+
+
+def table8() -> TableResult:
+    """Compiler versions and vectorisation, all 64 cores."""
+    return _compiler_table(8, 64, paper.TABLE8)
+
+
+TABLE_BUILDERS = {
+    1: table1,
+    2: table2,
+    3: table3,
+    4: table4,
+    5: table5,
+    6: table6,
+    7: table7,
+    8: table8,
+}
+
+
+def build_table(number: int) -> TableResult:
+    """Regenerate one paper table by number (1-8)."""
+    try:
+        return TABLE_BUILDERS[number]()
+    except KeyError:
+        raise KeyError(f"the paper has tables 1-8; no table {number}") from None

@@ -1,0 +1,52 @@
+"""Machine models: cores, caches, memory subsystems, topologies, catalog.
+
+The paper explains its results through a small set of architectural
+parameters (vector standard/width, cache geometry, memory controllers and
+channels, DDR generation, NUMA layout).  This package turns those
+parameters into quantitative models the performance engine in
+:mod:`repro.core` consumes.
+"""
+
+from .cpu import (
+    ISA,
+    CacheLevel,
+    CacheSharing,
+    CoreModel,
+    VectorStandard,
+    VectorUnit,
+)
+from .ddr import DDRGeneration, DDRSpec, ddr4, ddr5, lpddr4
+from .machine import Machine
+from .memory import MemorySubsystem, smoothmin
+from .topology import CoreLocation, Topology
+from .catalog import (
+    PAPER_HPC_MACHINES,
+    PAPER_RISCV_BOARDS,
+    all_machines,
+    get_machine,
+    machine_names,
+)
+
+__all__ = [
+    "ISA",
+    "CacheLevel",
+    "CacheSharing",
+    "CoreModel",
+    "CoreLocation",
+    "DDRGeneration",
+    "DDRSpec",
+    "Machine",
+    "MemorySubsystem",
+    "PAPER_HPC_MACHINES",
+    "PAPER_RISCV_BOARDS",
+    "Topology",
+    "VectorStandard",
+    "VectorUnit",
+    "all_machines",
+    "ddr4",
+    "ddr5",
+    "get_machine",
+    "lpddr4",
+    "machine_names",
+    "smoothmin",
+]

@@ -1,0 +1,206 @@
+"""Core, cache and vector-unit descriptors for the machine catalog.
+
+These dataclasses carry the microarchitectural parameters the paper uses to
+explain its results: pipeline issue capability, vector width and standard
+version (RVV 0.7.1 vs 1.0, NEON, AVX2, AVX-512), FPU count, and the
+L1/L2/L3 geometry including how caches are shared (private, per 4-core
+cluster, chip-wide).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "ISA",
+    "VectorStandard",
+    "VectorUnit",
+    "CacheLevel",
+    "CacheSharing",
+    "CoreModel",
+]
+
+
+class ISA(enum.Enum):
+    """Instruction-set architectures present in the paper's Table 5."""
+
+    RV64GC = "RV64GC"
+    RV64GCV = "RV64GCV"
+    X86_64 = "x86-64"
+    ARMV8 = "ARMv8.1"
+
+    @property
+    def is_riscv(self) -> bool:
+        return self in (ISA.RV64GC, ISA.RV64GCV)
+
+
+class VectorStandard(enum.Enum):
+    """Vector/SIMD extension families, including the RVV version split that
+    determines mainline-compiler support (the paper's central compiler
+    story: RVV 1.0 is targetable by mainline GCC >= 14, RVV 0.7.1 only by
+    T-Head's XuanTie GCC fork)."""
+
+    NONE = "none"
+    RVV_0_7_1 = "RVV v0.7.1"
+    RVV_1_0 = "RVV v1.0.0"
+    NEON = "NEON"
+    AVX2 = "AVX2"
+    AVX512 = "AVX512"
+
+    @property
+    def mainline_compiler_support(self) -> bool:
+        """Whether mainline GCC/LLVM can auto-vectorise for this target."""
+        return self not in (VectorStandard.RVV_0_7_1, VectorStandard.NONE)
+
+
+@dataclass(frozen=True)
+class VectorUnit:
+    """A core's SIMD/vector capability.
+
+    Parameters
+    ----------
+    standard:
+        Which vector extension (and version) the unit implements.
+    width_bits:
+        Register width in bits (128 for C920 RVV and NEON, 256 for AVX2 and
+        SpacemiT X60, 512 for Skylake AVX-512).
+    issue_per_cycle:
+        Vector arithmetic operations issued per cycle (EPYC 7742 executes
+        two AVX-256 ops/cycle; Skylake has two 512-bit FMA pipes on the
+        8170).
+    """
+
+    standard: VectorStandard
+    width_bits: int
+    issue_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.standard is VectorStandard.NONE:
+            if self.width_bits != 0:
+                raise ValueError("width_bits must be 0 when there is no vector unit")
+            return
+        if self.width_bits not in (64, 128, 256, 512, 1024):
+            raise ValueError(f"implausible vector width {self.width_bits}")
+        if self.issue_per_cycle < 1:
+            raise ValueError("issue_per_cycle must be >= 1")
+
+    @property
+    def doubles_per_cycle(self) -> float:
+        """Peak 64-bit lanes retired per cycle (0 when no vector unit)."""
+        if self.standard is VectorStandard.NONE:
+            return 0.0
+        return (self.width_bits / 64.0) * self.issue_per_cycle
+
+    def speedup_over_scalar(self, element_bits: int = 64) -> float:
+        """Ideal SIMD speedup over one scalar lane for a given element size."""
+        if self.standard is VectorStandard.NONE:
+            return 1.0
+        return max(1.0, (self.width_bits / element_bits) * self.issue_per_cycle)
+
+
+NO_VECTOR = VectorUnit(VectorStandard.NONE, 0, 1)
+
+
+class CacheSharing(enum.Enum):
+    """How a cache level is shared between cores."""
+
+    PRIVATE = "private"
+    CLUSTER = "cluster"  # shared by a cluster (e.g. 4 C920 cores / 2 MB L2)
+    CHIP = "chip"  # shared by every core on the die
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy.
+
+    ``size_bytes`` is the capacity of one *instance* of this level (one
+    private L1, one cluster L2, the whole chip L3 ...), and ``sharing``
+    says how many cores see that instance.
+    """
+
+    level: int
+    size_bytes: int
+    sharing: CacheSharing
+    latency_cycles: int
+    line_bytes: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.level not in (1, 2, 3):
+            raise ValueError(f"cache level must be 1..3, got {self.level}")
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.latency_cycles <= 0:
+            raise ValueError("cache latency must be positive")
+        if self.line_bytes not in (32, 64, 128):
+            raise ValueError(f"unusual cache line size {self.line_bytes}")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        n_sets = self.size_bytes / (self.line_bytes * self.associativity)
+        if n_sets != int(n_sets):
+            raise ValueError(
+                f"L{self.level}: size {self.size_bytes} not divisible into "
+                f"{self.associativity}-way sets of {self.line_bytes}B lines"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    def capacity_per_core(self, cores_sharing: int) -> float:
+        """Effective bytes of this level available to one of N sharers."""
+        if cores_sharing < 1:
+            raise ValueError("cores_sharing must be >= 1")
+        return self.size_bytes / cores_sharing
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """A single CPU core's execution resources.
+
+    ``sustained_ipc`` is the calibration anchor for scalar throughput: the
+    average instructions-per-cycle the core sustains on NPB-like code.  It
+    folds together issue width, out-of-order depth and branch prediction
+    quality; the catalog sets it from published microbenchmarks and the
+    paper's single-core anchors (see ``repro.core.calibration`` for the
+    per-kernel residual factors).
+    """
+
+    name: str
+    isa: ISA
+    decode_width: int
+    issue_width: int
+    load_store_units: int
+    fpu_count: int
+    vector: VectorUnit
+    sustained_ipc: float
+    out_of_order: bool = True
+    pipeline_stages: int = 12
+
+    def __post_init__(self) -> None:
+        if self.decode_width < 1 or self.issue_width < 1:
+            raise ValueError("decode/issue width must be >= 1")
+        if self.sustained_ipc <= 0:
+            raise ValueError("sustained_ipc must be positive")
+        if self.sustained_ipc > self.issue_width:
+            raise ValueError(
+                f"{self.name}: sustained IPC {self.sustained_ipc} exceeds "
+                f"issue width {self.issue_width}"
+            )
+        if self.fpu_count < 0 or self.load_store_units < 0:
+            raise ValueError("unit counts must be non-negative")
+
+    @property
+    def has_vector(self) -> bool:
+        return self.vector.standard is not VectorStandard.NONE
+
+    def scalar_flops_per_cycle(self) -> float:
+        """Sustained scalar double-precision flops per cycle."""
+        # One FP op per FPU per cycle, scaled by how well the front end
+        # keeps the pipes fed on real code.
+        return self.fpu_count * min(1.0, self.sustained_ipc / 2.0 + 0.25)
+
+    def peak_vector_flops_per_cycle(self) -> float:
+        """Peak 64-bit vector flops per cycle (0 without a vector unit)."""
+        return self.vector.doubles_per_cycle

@@ -1,0 +1,154 @@
+"""DDR memory-generation timing and bandwidth arithmetic.
+
+The paper explains most of its memory results in terms of DDR generation
+(DDR4-2666 / DDR4-3200 / DDR5-4266 / LPDDR4), the number of memory
+controllers, and the number of memory channels (SG2042: 4+4, SG2044: 32+32,
+EPYC 7742: 8+8, Skylake & ThunderX2: 2 controllers with 6/8 channels).
+This module turns a DDR specification into the raw per-channel numbers the
+memory-subsystem model needs:
+
+* theoretical per-channel bandwidth (bus width x transfer rate),
+* a sustained-efficiency derating (page misses, refresh, rank switching),
+* an idle random-access latency estimate (CAS + row activate + controller
+  and fabric overhead).
+
+Nothing here is calibrated against the paper -- these are textbook JEDEC
+numbers; calibration happens in :mod:`repro.core.calibration`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DDRGeneration",
+    "DDRSpec",
+    "ddr4",
+    "ddr5",
+    "lpddr4",
+]
+
+
+class DDRGeneration(enum.Enum):
+    """JEDEC DRAM generations that appear in the paper's machine table."""
+
+    DDR4 = "DDR4"
+    DDR5 = "DDR5"
+    LPDDR4 = "LPDDR4"
+
+    @property
+    def bus_width_bits(self) -> int:
+        """Data-bus width of one channel in bits.
+
+        DDR5 DIMMs split the 64-bit bus into two independent 32-bit
+        sub-channels; the paper counts SG2044 channels the SOPHGO way
+        (32 channels), which corresponds to sub-channel granularity, so we
+        model a DDR5 *channel* as a 32-bit sub-channel.
+        """
+        if self is DDRGeneration.DDR5:
+            return 32
+        return 64 if self is DDRGeneration.DDR4 else 32
+
+    @property
+    def typical_efficiency(self) -> float:
+        """Fraction of peak bandwidth sustainable on streaming workloads.
+
+        DDR5's dual sub-channel design and larger bank-group count keep more
+        pages open under multi-core streams, hence the higher derating.
+        """
+        return {
+            DDRGeneration.DDR4: 0.78,
+            DDRGeneration.DDR5: 0.84,
+            DDRGeneration.LPDDR4: 0.65,
+        }[self]
+
+
+@dataclass(frozen=True)
+class DDRSpec:
+    """One memory channel's worth of DRAM.
+
+    Parameters
+    ----------
+    generation:
+        JEDEC generation (:class:`DDRGeneration`).
+    transfer_mts:
+        Transfer rate in mega-transfers per second (the ``-3200`` in
+        ``DDR4-3200``).
+    cas_latency_ns:
+        CAS latency in nanoseconds.  Defaults chosen per generation if not
+        given (DDR4 ~13.75 ns CL19 @3200, DDR5 ~16 ns).
+    """
+
+    generation: DDRGeneration
+    transfer_mts: int
+    cas_latency_ns: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.transfer_mts <= 0:
+            raise ValueError(f"transfer_mts must be positive, got {self.transfer_mts}")
+        if self.cas_latency_ns == 0.0:
+            default = {
+                DDRGeneration.DDR4: 13.75,
+                DDRGeneration.DDR5: 16.0,
+                DDRGeneration.LPDDR4: 18.0,
+            }[self.generation]
+            object.__setattr__(self, "cas_latency_ns", default)
+        if self.cas_latency_ns <= 0:
+            raise ValueError("cas_latency_ns must be positive")
+
+    @property
+    def name(self) -> str:
+        """Marketing name, e.g. ``DDR5-4266``."""
+        return f"{self.generation.value}-{self.transfer_mts}"
+
+    @property
+    def channel_peak_bw_gbs(self) -> float:
+        """Theoretical peak bandwidth of one channel in GB/s."""
+        bytes_per_transfer = self.generation.bus_width_bits / 8.0
+        return self.transfer_mts * 1e6 * bytes_per_transfer / 1e9
+
+    @property
+    def channel_sustained_bw_gbs(self) -> float:
+        """Sustained streaming bandwidth of one channel in GB/s."""
+        return self.channel_peak_bw_gbs * self.generation.typical_efficiency
+
+    @property
+    def random_access_latency_ns(self) -> float:
+        """Idle-latency estimate for a row-miss random access.
+
+        Roughly tRCD + CL + tRP plus a fixed controller/PHY overhead; we
+        approximate the DRAM-core part as 3x CAS, which is within a few ns
+        of published tRC values across the generations used here.
+        """
+        controller_overhead_ns = 10.0
+        return 3.0 * self.cas_latency_ns + controller_overhead_ns
+
+    def random_requests_per_second(self) -> float:
+        """Row-miss random-access throughput of one channel (requests/s).
+
+        A closed-page random access occupies a bank for ~tRC; with the bank
+        parallelism available per channel (16 banks DDR4, 32 DDR5) several
+        requests overlap, but the data bus and bank-group timing limit the
+        sustained rate.  We model sustained random throughput as one cache
+        line per ~tRC/4 per channel -- i.e. four banks' worth of overlap --
+        which lands near measured pointer-chase-with-MLP rates.
+        """
+        trc_ns = self.random_access_latency_ns - 10.0  # strip controller part
+        overlap = 4.0
+        return overlap / (trc_ns * 1e-9)
+
+
+def ddr4(transfer_mts: int, cas_latency_ns: float = 0.0) -> DDRSpec:
+    """Convenience constructor for a DDR4 channel spec."""
+    return DDRSpec(DDRGeneration.DDR4, transfer_mts, cas_latency_ns)
+
+
+def ddr5(transfer_mts: int, cas_latency_ns: float = 0.0) -> DDRSpec:
+    """Convenience constructor for a DDR5 channel spec."""
+    return DDRSpec(DDRGeneration.DDR5, transfer_mts, cas_latency_ns)
+
+
+def lpddr4(transfer_mts: int, cas_latency_ns: float = 0.0) -> DDRSpec:
+    """Convenience constructor for an LPDDR4 channel spec (small boards)."""
+    return DDRSpec(DDRGeneration.LPDDR4, transfer_mts, cas_latency_ns)

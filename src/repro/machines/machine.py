@@ -1,0 +1,209 @@
+"""The :class:`Machine` aggregate: one socket the paper benchmarks.
+
+A machine bundles a core model, clock, topology, cache hierarchy and memory
+subsystem, plus the handful of whole-chip parameters (barrier cost,
+parallel-runtime overhead) that the multi-core scaling model needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .cpu import CacheLevel, CacheSharing, CoreModel
+from .memory import MemorySubsystem
+from .topology import Topology
+
+__all__ = ["Machine"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One benchmarked socket.
+
+    Parameters
+    ----------
+    name:
+        Short identifier used throughout the harness (``"sg2044"``).
+    label:
+        Display name as the paper prints it (``"Sophon SG2044"``).
+    part:
+        Part number for the Table 5 renderer.
+    core:
+        The per-core microarchitecture model.
+    clock_hz:
+        Base clock.  The paper measured 2.6 GHz on its SG2044 test system
+        (SOPHGO have not published a figure; [11] suggests 2.8 GHz).
+    topology:
+        Cluster/NUMA layout.
+    caches:
+        Data-cache hierarchy, L1 first.
+    memory:
+        Off-chip memory subsystem.
+    barrier_base_ns / barrier_log_coeff_ns:
+        OpenMP barrier cost model ``t = base + coeff * log2(n)``;
+        tree-barrier shaped, calibrated per interconnect quality.
+    smt:
+        Hardware threads per core (the paper disables SMT everywhere, but
+        the catalog records it for completeness).
+    """
+
+    name: str
+    label: str
+    part: str
+    core: CoreModel
+    clock_hz: float
+    topology: Topology
+    caches: tuple[CacheLevel, ...]
+    memory: MemorySubsystem
+    barrier_base_ns: float = 400.0
+    barrier_log_coeff_ns: float = 250.0
+    os_noise_coeff: float = 0.004
+    numa_penalty: float = 1.0
+    smt: int = 1
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if not self.caches:
+            raise ValueError("a machine needs at least one cache level")
+        levels = [c.level for c in self.caches]
+        if levels != sorted(levels) or len(set(levels)) != len(levels):
+            raise ValueError("caches must be listed L1..L3 without duplicates")
+        if self.smt < 1:
+            raise ValueError("smt must be >= 1")
+        if self.os_noise_coeff < 0:
+            raise ValueError("os_noise_coeff must be non-negative")
+        if not 0.0 < self.numa_penalty <= 1.0:
+            raise ValueError("numa_penalty must be in (0, 1]")
+        if self.topology.numa_regions != self.memory.numa_regions:
+            raise ValueError(
+                f"{self.name}: topology has {self.topology.numa_regions} NUMA "
+                f"regions but memory model has {self.memory.numa_regions}"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        return self.topology.total_cores
+
+    @property
+    def clock_ghz(self) -> float:
+        return self.clock_hz / 1e9
+
+    def cache(self, level: int) -> CacheLevel | None:
+        """Cache descriptor for a level, or ``None`` if absent."""
+        for c in self.caches:
+            if c.level == level:
+                return c
+        return None
+
+    @property
+    def last_level_cache(self) -> CacheLevel:
+        return self.caches[-1]
+
+    def cores_sharing(self, cache: CacheLevel, active_threads: int = 0) -> int:
+        """How many cores share one instance of ``cache``.
+
+        With ``active_threads`` given, returns the sharing degree under a
+        compact placement of that many threads (used to decide whether a
+        kernel's per-thread working set still fits).
+        """
+        if cache.sharing is CacheSharing.PRIVATE:
+            return 1
+        if cache.sharing is CacheSharing.CLUSTER:
+            full = self.topology.cores_per_cluster
+        else:
+            full = self.n_cores
+        if active_threads <= 0:
+            return full
+        return min(full, max(1, active_threads))
+
+    def effective_cache_bytes_per_thread(self, n_threads: int) -> float:
+        """Total cache capacity one of ``n_threads`` effectively owns.
+
+        Sums each level's instance capacity divided by the number of active
+        threads sharing it under a compact placement.  This is the quantity
+        the working-set model compares against (the paper invokes it when
+        attributing CG gains to the SG2044's doubled 2 MB cluster L2).
+        """
+        if not 1 <= n_threads <= self.n_cores:
+            raise ValueError(f"n_threads {n_threads} out of range")
+        total = 0.0
+        for cache in self.caches:
+            sharers = self.cores_sharing(cache, active_threads=n_threads)
+            if cache.sharing is CacheSharing.CLUSTER:
+                # Compact placement: threads fill clusters in order.
+                sharers = min(self.topology.cores_per_cluster, n_threads)
+            elif cache.sharing is CacheSharing.CHIP:
+                sharers = n_threads
+            else:
+                sharers = 1
+            total += cache.size_bytes / sharers
+        return total
+
+    # ------------------------------------------------------------------
+    # Whole-chip rate helpers used by the performance model
+    # ------------------------------------------------------------------
+
+    def scalar_rate_per_core(self) -> float:
+        """Sustained scalar instructions per second for one core."""
+        return self.core.sustained_ipc * self.clock_hz
+
+    def barrier_cost_s(self, n_threads: int) -> float:
+        """Cost of one OpenMP barrier across ``n_threads`` (seconds)."""
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if n_threads == 1:
+            return 0.0
+        ns = self.barrier_base_ns + self.barrier_log_coeff_ns * math.log2(n_threads)
+        return ns * 1e-9
+
+    def parallel_efficiency(self, n_threads: int, numa_sensitive: bool = True) -> float:
+        """Machine-side thread-scaling derating.
+
+        ``os_noise_coeff`` models scheduler noise and runtime overhead
+        growing with thread count (the SG2042 loses ~17% of EP's ideal
+        scaling at 64 cores this way).  ``numa_penalty`` applies once a
+        run spans more than one NUMA region (remote-touch pages under the
+        NPB OpenMP codes' untuned first-touch behaviour -- relevant only
+        to the four-region EPYC 7742 here) -- but only to
+        ``numa_sensitive`` workloads: a kernel with no DRAM traffic (EP)
+        has no remote pages to touch, which is why the EPYC keeps its EP
+        lead all the way to 64 cores in the paper's Figure 4.
+        """
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if n_threads == 1:
+            return 1.0
+        eff = max(0.4, 1.0 - self.os_noise_coeff * math.log2(n_threads))
+        if (
+            numa_sensitive
+            and self.topology.numa_regions > 1
+            and n_threads > self.topology.cores_per_numa
+        ):
+            eff *= self.numa_penalty
+        return eff
+
+    def validate_thread_count(self, n_threads: int) -> None:
+        if not 1 <= n_threads <= self.n_cores:
+            raise ValueError(
+                f"{self.name} has {self.n_cores} cores; cannot run "
+                f"{n_threads} threads (SMT is disabled per the paper)"
+            )
+
+    def describe(self) -> dict[str, str]:
+        """Row for the Table 5 renderer."""
+        return {
+            "CPU": self.label,
+            "ISA": self.core.isa.value,
+            "Part": self.part,
+            "Base clock": f"{self.clock_ghz:.2f} GHz",
+            "Cores": str(self.n_cores),
+            "Vector": self.core.vector.standard.value,
+            "Memory": self.memory.describe(),
+        }

@@ -1,0 +1,138 @@
+"""Multi-socket cluster projection: N sockets of a catalog machine.
+
+Extends the single-socket performance model with inter-socket
+communication costs (from :mod:`repro.mpi.netmodel`), projecting the NPB
+kernels onto small clusters -- the natural follow-on to the paper and the
+territory of its companion study [2].  Work scales out perfectly within
+each socket's model; the added cost is each kernel's characteristic
+collective across sockets:
+
+* EP  -- one final allreduce (nothing; EP clusters beautifully),
+* CG  -- an allreduce per inner iteration plus halo exchange,
+* MG/BT/LU/SP -- halo exchanges per sweep,
+* IS  -- key redistribution: one alltoall per ranking iteration,
+* FT  -- the full-volume transpose alltoall per 3-D FFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compilers.gcc import default_compiler_for, get_compiler
+from repro.core.perfmodel import PerformanceModel, Prediction
+from repro.machines.catalog import get_machine
+from repro.npb.params import cg_params, ft_params, is_params
+from repro.npb.signatures import signature_for
+
+from .netmodel import INFINIBAND_HDR, LinkModel
+
+__all__ = ["ClusterPrediction", "predict_cluster", "cluster_sweep"]
+
+
+@dataclass(frozen=True)
+class ClusterPrediction:
+    """One (kernel, machine, sockets) projection."""
+
+    machine: str
+    kernel: str
+    n_sockets: int
+    mops: float
+    compute_time_s: float
+    comm_time_s: float
+    single_socket: Prediction
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.compute_time_s + self.comm_time_s
+        return self.comm_time_s / total if total else 0.0
+
+    @property
+    def scaling_efficiency(self) -> float:
+        ideal = self.single_socket.mops * self.n_sockets
+        return self.mops / ideal
+
+
+def _comm_time(kernel: str, npb_class: str, link: LinkModel, p: int) -> float:
+    """Total inter-socket communication time for one full run."""
+    if p == 1:
+        return 0.0
+    if kernel == "ep":
+        return link.allreduce_time(8 * 12, p)  # sums + annulus counts, once
+    if kernel == "is":
+        ip = is_params(_cls(npb_class))
+        per_pair = 4 * ip.n_keys // (p * p)  # keys scatter evenly
+        return ip.iterations * link.alltoall_time(per_pair, p)
+    if kernel == "ft":
+        fp = ft_params(_cls(npb_class))
+        per_pair = 16 * fp.n_points // (p * p)
+        # One transpose per (inverse) FFT per iteration.
+        return (fp.iterations + 1) * link.alltoall_time(per_pair, p)
+    if kernel == "cg":
+        cp = cg_params(_cls(npb_class))
+        reductions = cp.niter * cp.inner_iterations * 3
+        halo = cp.niter * cp.inner_iterations * link.halo_time(8 * cp.n // p)
+        return reductions * link.allreduce_time(8, p) + halo
+    # Grid codes: one halo exchange per sweep per iteration; face size
+    # shrinks with the 1-D decomposition.
+    sig = signature_for(kernel, npb_class)
+    face_bytes = int(sig.working_set_bytes ** (2.0 / 3.0))
+    sweeps = {"mg": 40, "bt": 600, "lu": 500, "sp": 1200}.get(kernel, 100)
+    return sweeps * link.halo_time(face_bytes)
+
+
+def _cls(letter: str):
+    from repro.npb.common import NPBClass
+
+    return NPBClass(letter)
+
+
+def predict_cluster(
+    machine_name: str,
+    kernel: str,
+    n_sockets: int,
+    npb_class: str = "C",
+    link: LinkModel = INFINIBAND_HDR,
+    model: PerformanceModel | None = None,
+) -> ClusterPrediction:
+    """Project one kernel onto ``n_sockets`` full sockets.
+
+    The problem (class) stays fixed -- strong scaling, like the paper's
+    thread sweeps -- so each socket works on ``1/p`` of the ops while the
+    collectives stitch the results together.
+    """
+    if n_sockets < 1:
+        raise ValueError("n_sockets must be >= 1")
+    model = model or PerformanceModel()
+    machine = get_machine(machine_name)
+    sig = signature_for(kernel, npb_class)
+    compiler = get_compiler(default_compiler_for(machine_name))
+    single = model.predict(
+        machine, sig, compiler, machine.n_cores, vectorise=kernel != "cg"
+    )
+    compute = single.time_s / n_sockets
+    comm = _comm_time(kernel, npb_class, link, n_sockets)
+    total = compute + comm
+    return ClusterPrediction(
+        machine=machine_name,
+        kernel=kernel,
+        n_sockets=n_sockets,
+        mops=sig.total_mops / total,
+        compute_time_s=compute,
+        comm_time_s=comm,
+        single_socket=single,
+    )
+
+
+def cluster_sweep(
+    machine_name: str,
+    kernel: str,
+    socket_counts: tuple[int, ...] = (1, 2, 4, 8),
+    npb_class: str = "C",
+    link: LinkModel = INFINIBAND_HDR,
+) -> list[ClusterPrediction]:
+    """Strong-scaling sweep over socket counts (shared model/cache)."""
+    model = PerformanceModel()
+    return [
+        predict_cluster(machine_name, kernel, p, npb_class, link, model)
+        for p in socket_counts
+    ]

@@ -1,0 +1,96 @@
+"""Interconnect cost model (Hockney alpha-beta) and collective costs.
+
+The paper's companion work ([2], "Investigations of multi-socket high core
+count RISC-V for HPC workloads") moves from one socket to several; this
+module provides the network side of that projection: per-message cost
+``alpha + bytes / beta`` and the standard algorithmic costs of the MPI
+collectives the NPB codes use (allreduce for EP/CG dot products, alltoall
+for FT transposes, halo exchanges for the grid codes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LinkModel", "ETHERNET_100G", "INFINIBAND_HDR", "PCIE5_FABRIC"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """One inter-socket link: latency ``alpha_s`` and bandwidth ``beta_Bps``."""
+
+    name: str
+    alpha_s: float
+    beta_bps: float
+
+    def __post_init__(self) -> None:
+        if self.alpha_s < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.beta_bps <= 0:
+            raise ValueError("beta must be positive")
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+
+    def ptp_time(self, n_bytes: int) -> float:
+        """One message of ``n_bytes``: alpha + n/beta."""
+        if n_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.alpha_s + n_bytes / self.beta_bps
+
+    # ------------------------------------------------------------------
+    # Collectives (standard algorithm costs, p ranks)
+    # ------------------------------------------------------------------
+
+    def allreduce_time(self, n_bytes: int, p: int) -> float:
+        """Recursive-doubling allreduce: ceil(log2 p) rounds of n bytes."""
+        self._check_p(p)
+        if p == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        return rounds * self.ptp_time(n_bytes)
+
+    def bcast_time(self, n_bytes: int, p: int) -> float:
+        """Binomial-tree broadcast."""
+        self._check_p(p)
+        if p == 1:
+            return 0.0
+        return math.ceil(math.log2(p)) * self.ptp_time(n_bytes)
+
+    def allgather_time(self, n_bytes_per_rank: int, p: int) -> float:
+        """Ring allgather: p-1 steps of one rank's contribution each."""
+        self._check_p(p)
+        if p == 1:
+            return 0.0
+        return (p - 1) * self.ptp_time(n_bytes_per_rank)
+
+    def alltoall_time(self, n_bytes_per_pair: int, p: int) -> float:
+        """Pairwise-exchange alltoall: p-1 bidirectional steps.
+
+        This is FT's transpose cost across sockets -- the term that
+        decides whether a multi-socket SG2044 is worth it for FT.
+        """
+        self._check_p(p)
+        if p == 1:
+            return 0.0
+        return (p - 1) * self.ptp_time(n_bytes_per_pair)
+
+    def halo_time(self, n_bytes_per_face: int, n_neighbours: int = 2) -> float:
+        """Nearest-neighbour halo exchange (overlapping sends assumed)."""
+        if n_neighbours < 0:
+            raise ValueError("n_neighbours must be non-negative")
+        return n_neighbours * self.ptp_time(n_bytes_per_face)
+
+    @staticmethod
+    def _check_p(p: int) -> None:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+
+
+#: Plausible inter-socket fabrics for the projection study.
+ETHERNET_100G = LinkModel("100G Ethernet (RoCE)", alpha_s=4e-6, beta_bps=11e9)
+INFINIBAND_HDR = LinkModel("InfiniBand HDR", alpha_s=1.2e-6, beta_bps=23e9)
+#: The SG2044's PCIe Gen5 means a CXL-ish fabric is conceivable.
+PCIE5_FABRIC = LinkModel("PCIe Gen5 fabric", alpha_s=0.8e-6, beta_bps=50e9)

@@ -1,0 +1,149 @@
+"""A functional simulated MPI communicator.
+
+SPMD programs over NumPy arrays without any real processes: the caller
+holds per-rank data in lists indexed by rank, and the communicator
+executes the collective *functionally* (the maths actually happens and is
+testable) while advancing each rank's simulated clock with the
+alpha-beta costs from :mod:`repro.mpi.netmodel`.
+
+This mirrors the mpi4py buffer-protocol idioms from the HPC-Python guides
+(``Allreduce``, ``Alltoall``, ``Sendrecv``) closely enough that a port to
+real MPI is mechanical, which is the point: the distributed NPB kernels in
+:mod:`repro.mpi.npb_dist` are *real* distributed algorithms, verified
+against their single-rank counterparts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from .netmodel import LinkModel
+
+__all__ = ["SimComm"]
+
+
+class SimComm:
+    """A simulated communicator over ``n_ranks`` ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of SPMD ranks.
+    link:
+        Cost model for inter-rank traffic (all ranks are assumed to sit
+        on distinct sockets; intra-socket OpenMP is the other layer).
+    """
+
+    def __init__(self, n_ranks: int, link: LinkModel) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.link = link
+        #: Simulated communication time accumulated per rank (seconds).
+        self.clock = np.zeros(n_ranks)
+        #: Message/collective counters for assertions and reports.
+        self.counters = {"ptp": 0, "allreduce": 0, "alltoall": 0, "allgather": 0, "bcast": 0}
+
+    # ------------------------------------------------------------------
+
+    def _check_ranks(self, data: Sequence) -> None:
+        if len(data) != self.n_ranks:
+            raise ValueError(
+                f"expected one buffer per rank ({self.n_ranks}), got {len(data)}"
+            )
+
+    def _advance_all(self, seconds: float) -> None:
+        self.clock += seconds
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+
+    def sendrecv(
+        self, data: Sequence[np.ndarray], dest_of: Callable[[int], int]
+    ) -> list[np.ndarray]:
+        """Every rank sends its buffer to ``dest_of(rank)``; returns what
+        each rank received.  The destination map must be a permutation."""
+        self._check_ranks(data)
+        dests = [dest_of(r) for r in range(self.n_ranks)]
+        if sorted(dests) != list(range(self.n_ranks)):
+            raise ValueError("dest_of must be a permutation of the ranks")
+        received: list[np.ndarray | None] = [None] * self.n_ranks
+        for rank, dest in enumerate(dests):
+            received[dest] = np.array(data[rank], copy=True)
+            cost = self.link.ptp_time(data[rank].nbytes)
+            self.clock[rank] += cost
+            self.clock[dest] += cost
+            self.counters["ptp"] += 1
+        return received  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+
+    def allreduce(
+        self, data: Sequence[np.ndarray], op: str = "sum"
+    ) -> list[np.ndarray]:
+        """Elementwise reduction visible on every rank."""
+        self._check_ranks(data)
+        stack = np.stack([np.asarray(d) for d in data])
+        if op == "sum":
+            result = stack.sum(axis=0)
+        elif op == "max":
+            result = stack.max(axis=0)
+        elif op == "min":
+            result = stack.min(axis=0)
+        else:
+            raise ValueError(f"unsupported reduction op {op!r}")
+        self._advance_all(self.link.allreduce_time(result.nbytes, self.n_ranks))
+        self.counters["allreduce"] += 1
+        return [result.copy() for _ in range(self.n_ranks)]
+
+    def bcast(self, data: Sequence[np.ndarray | None], root: int = 0) -> list[np.ndarray]:
+        """Root's buffer replicated to every rank."""
+        self._check_ranks(data)
+        if not 0 <= root < self.n_ranks:
+            raise ValueError("root out of range")
+        buf = np.asarray(data[root])
+        self._advance_all(self.link.bcast_time(buf.nbytes, self.n_ranks))
+        self.counters["bcast"] += 1
+        return [buf.copy() for _ in range(self.n_ranks)]
+
+    def allgather(self, data: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Concatenation of every rank's buffer, on every rank."""
+        self._check_ranks(data)
+        gathered = np.concatenate([np.asarray(d) for d in data])
+        per_rank = max(int(np.asarray(data[0]).nbytes), 1)
+        self._advance_all(self.link.allgather_time(per_rank, self.n_ranks))
+        self.counters["allgather"] += 1
+        return [gathered.copy() for _ in range(self.n_ranks)]
+
+    def alltoall(self, data: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Block transpose: rank r receives block r of every rank.
+
+        Each rank's buffer must split evenly into ``n_ranks`` blocks along
+        axis 0 (exactly MPI_Alltoall semantics on contiguous blocks).
+        """
+        self._check_ranks(data)
+        p = self.n_ranks
+        blocks = []
+        for d in data:
+            arr = np.asarray(d)
+            if arr.shape[0] % p != 0:
+                raise ValueError(
+                    f"buffer axis 0 ({arr.shape[0]}) must divide into {p} blocks"
+                )
+            blocks.append(np.split(arr, p, axis=0))
+        out = [np.concatenate([blocks[src][dst] for src in range(p)], axis=0) for dst in range(p)]
+        pair_bytes = max(int(np.asarray(blocks[0][0]).nbytes), 1)
+        self._advance_all(self.link.alltoall_time(pair_bytes, p))
+        self.counters["alltoall"] += 1
+        return out
+
+    # ------------------------------------------------------------------
+
+    def max_comm_time(self) -> float:
+        """Simulated communication time of the slowest rank."""
+        return float(self.clock.max())

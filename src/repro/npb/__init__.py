@@ -1,0 +1,24 @@
+"""NAS Parallel Benchmarks: functional NumPy implementations + signatures.
+
+Every benchmark exists in two forms:
+
+* **functional** -- really computes the kernel (verified); used by the
+  examples, the test suite and host-side timing.
+* **signature** -- the machine-independent resource footprint consumed by
+  the performance model to regenerate the paper's tables and figures.
+"""
+
+from .common import BenchmarkResult, NPBClass, Randlc, randlc_jump_multiplier
+from .params import ALL_BENCHMARKS, KERNELS, PSEUDO_APPS
+from .signatures import signature_for
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkResult",
+    "KERNELS",
+    "NPBClass",
+    "PSEUDO_APPS",
+    "Randlc",
+    "randlc_jump_multiplier",
+    "signature_for",
+]

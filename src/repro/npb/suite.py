@@ -1,0 +1,52 @@
+"""Suite registry: run any NPB benchmark functionally by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .bt import run_bt
+from .cg import run_cg
+from .common import BenchmarkResult, NPBClass
+from .ep import run_ep
+from .ft import run_ft
+from .is_ import run_is
+from .lu import run_lu
+from .mg import run_mg
+from .params import ALL_BENCHMARKS
+from .sp import run_sp
+
+__all__ = ["run_benchmark", "RUNNERS", "run_suite"]
+
+RUNNERS: dict[str, Callable[[NPBClass], BenchmarkResult]] = {
+    "is": run_is,
+    "mg": run_mg,
+    "ep": run_ep,
+    "cg": run_cg,
+    "ft": run_ft,
+    "bt": run_bt,
+    "lu": run_lu,
+    "sp": run_sp,
+}
+
+assert set(RUNNERS) == set(ALL_BENCHMARKS)
+
+
+def run_benchmark(name: str, npb_class: NPBClass | str = "S") -> BenchmarkResult:
+    """Run one benchmark functionally.
+
+    >>> run_benchmark("ep", "S").verified
+    True
+    """
+    try:
+        runner = RUNNERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(RUNNERS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    if isinstance(npb_class, str):
+        npb_class = NPBClass(npb_class)
+    return runner(npb_class)
+
+
+def run_suite(npb_class: NPBClass | str = "S") -> list[BenchmarkResult]:
+    """Run every benchmark at one class (the full functional suite)."""
+    return [run_benchmark(name, npb_class) for name in ALL_BENCHMARKS]

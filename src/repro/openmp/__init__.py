@@ -1,0 +1,18 @@
+"""Simulated OpenMP runtime: affinity, scheduling, fork-join costs."""
+
+from .affinity import Placement, ProcBind, parse_places, place_threads
+from .runtime import OpenMPRuntime, RegionStats
+from .schedule import Chunk, ScheduleKind, imbalance, schedule_iterations
+
+__all__ = [
+    "Chunk",
+    "OpenMPRuntime",
+    "Placement",
+    "ProcBind",
+    "RegionStats",
+    "ScheduleKind",
+    "imbalance",
+    "parse_places",
+    "place_threads",
+    "schedule_iterations",
+]

@@ -1,0 +1,152 @@
+"""OpenMP thread-affinity policies: ``OMP_PROC_BIND`` / ``OMP_PLACES``.
+
+Section 5.2 of the paper experiments with these on the SG2044's MG runs
+and finds -- to the authors' surprise -- that *unbound* threads (or
+``OMP_PROC_BIND=false``) beat every explicit placement, the OS doing a
+better job of spreading load over the 32 memory controllers at runtime.
+
+This module parses the two environment variables the way libgomp does
+(the subset NPB runs exercise) and produces concrete core placements on a
+:class:`~repro.machines.Topology`, plus the placement-quality metrics the
+performance model consumes (cluster-cache sharing, controller spread).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.machines.topology import Topology
+
+__all__ = ["ProcBind", "parse_places", "Placement", "place_threads"]
+
+
+class ProcBind(enum.Enum):
+    """``OMP_PROC_BIND`` values (the subset that matters here)."""
+
+    FALSE = "false"  # no binding: the OS migrates threads freely
+    TRUE = "true"  # bind, implementation-chosen placement (close)
+    CLOSE = "close"
+    SPREAD = "spread"
+    MASTER = "master"
+
+    @classmethod
+    def parse(cls, value: str | None) -> "ProcBind":
+        if value is None or value.strip() == "":
+            return cls.FALSE  # unset behaves like false for our purposes
+        v = value.strip().lower()
+        for member in cls:
+            if member.value == v:
+                return member
+        raise ValueError(f"unrecognised OMP_PROC_BIND value {value!r}")
+
+
+def parse_places(value: str | None, topology: Topology) -> list[list[int]]:
+    """Parse ``OMP_PLACES`` into an ordered list of places (core-id lists).
+
+    Supports the forms NPB users actually write:
+
+    * ``cores`` / ``threads``       -- one place per physical core
+    * ``sockets``                   -- one place per NUMA region
+    * ``{0},{1},{2}``               -- explicit singleton places
+    * ``{0:4},{4:4}``               -- stride-1 interval places
+    * ``{0},{4},...`` with ranges mixed freely
+    """
+    n = topology.total_cores
+    if value is None or value.strip() == "" or value.strip().lower() in ("cores", "threads"):
+        return [[c] for c in range(n)]
+    v = value.strip().lower()
+    if v == "sockets":
+        per = topology.cores_per_numa
+        return [
+            list(range(r * per, (r + 1) * per))
+            for r in range(topology.numa_regions)
+        ]
+    places: list[list[int]] = []
+    for chunk in v.split("},"):
+        chunk = chunk.strip().lstrip("{").rstrip("}")
+        if not chunk:
+            continue
+        if ":" in chunk:
+            start_s, len_s = chunk.split(":", 1)
+            start, length = int(start_s), int(len_s)
+            if length < 1:
+                raise ValueError(f"place length must be >= 1 in {value!r}")
+            place = list(range(start, start + length))
+        else:
+            place = [int(chunk)]
+        for core in place:
+            if not 0 <= core < n:
+                raise ValueError(f"core {core} out of range in OMP_PLACES={value!r}")
+        places.append(place)
+    if not places:
+        raise ValueError(f"no places parsed from {value!r}")
+    return places
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Resolved thread placement.
+
+    ``cores[t]`` is the core thread ``t`` is bound to, or ``None`` for an
+    unbound run (threads migrate; quality metrics then reflect the OS's
+    time-averaged behaviour, which the paper found to be the best
+    strategy on the SG2044).
+    """
+
+    topology: Topology
+    cores: tuple[int, ...] | None
+    bind: ProcBind
+
+    @property
+    def n_threads(self) -> int:
+        if self.cores is None:
+            raise AttributeError("unbound placement has no fixed width")
+        return len(self.cores)
+
+    def max_cluster_occupancy(self) -> float:
+        """Worst-case threads sharing one cluster-cache instance.
+
+        Unbound threads average out: occupancy equals the ideal uniform
+        value (the OS balancing the paper observed).
+        """
+        if self.cores is None:
+            raise ValueError("occupancy of an unbound placement needs n_threads")
+        return float(self.topology.max_cluster_occupancy(list(self.cores)))
+
+    def uniform_occupancy(self, n_threads: int) -> float:
+        return n_threads / self.topology.n_clusters
+
+
+def place_threads(
+    topology: Topology,
+    n_threads: int,
+    proc_bind: str | ProcBind | None = None,
+    places: str | None = None,
+) -> Placement:
+    """Resolve a placement like libgomp would.
+
+    * ``false`` (or unset): unbound -- returns ``cores=None``.
+    * ``close``/``true``: pack threads over places in order.
+    * ``spread``: distribute threads over places as widely as possible.
+    * ``master``: every thread on the primary thread's place.
+    """
+    if not 1 <= n_threads <= topology.total_cores:
+        raise ValueError(f"n_threads {n_threads} out of range")
+    bind = proc_bind if isinstance(proc_bind, ProcBind) else ProcBind.parse(proc_bind)
+    if bind is ProcBind.FALSE:
+        return Placement(topology=topology, cores=None, bind=bind)
+
+    place_list = parse_places(places, topology)
+    if bind in (ProcBind.CLOSE, ProcBind.TRUE):
+        chosen = [place_list[t % len(place_list)][0] for t in range(n_threads)]
+    elif bind is ProcBind.SPREAD:
+        stride = max(1, len(place_list) // n_threads)
+        chosen = [
+            place_list[(t * stride) % len(place_list)][0] for t in range(n_threads)
+        ]
+    elif bind is ProcBind.MASTER:
+        chosen = [place_list[0][0]] * n_threads
+    else:  # pragma: no cover - enum is exhaustive
+        raise AssertionError(bind)
+    return Placement(topology=topology, cores=tuple(chosen), bind=bind)

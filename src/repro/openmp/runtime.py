@@ -1,0 +1,160 @@
+"""Simulated OpenMP runtime: fork-join regions over a machine model.
+
+Accounts for the costs the paper's multi-core sections exercise: region
+fork/join overhead, barriers (tree-shaped, per the machine's barrier
+parameters), reductions, and the cache/memory-controller consequences of
+a thread placement.  The MG affinity study of Section 5.2 -- where
+``OMP_PROC_BIND=false`` beat explicit binding on the SG2044 -- is
+reproduced through :meth:`placement_efficiency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.machine import Machine
+
+from .affinity import Placement, ProcBind, place_threads
+from .schedule import Chunk, ScheduleKind, imbalance, schedule_iterations
+
+__all__ = ["OpenMPRuntime", "RegionStats"]
+
+
+@dataclass
+class RegionStats:
+    """Accumulated simulated costs of one parallel region."""
+
+    n_threads: int
+    barriers: int = 0
+    reductions: int = 0
+    scheduled_chunks: int = 0
+    sync_seconds: float = 0.0
+    load_imbalance: float = 0.0
+    events: list[str] = field(default_factory=list)
+
+
+class OpenMPRuntime:
+    """Fork-join simulator bound to one machine.
+
+    >>> from repro.machines import get_machine
+    >>> rt = OpenMPRuntime(get_machine("sg2044"))
+    >>> with rt.parallel(64) as region:
+    ...     rt.parallel_for(region, n_iterations=10_000)
+    ...     rt.barrier(region)
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        proc_bind: str | ProcBind | None = None,
+        places: str | None = None,
+    ) -> None:
+        self.machine = machine
+        self.proc_bind = proc_bind
+        self.places = places
+        self.regions: list[RegionStats] = []
+        self._open_region: RegionStats | None = None
+
+    # ------------------------------------------------------------------
+    # Region lifecycle
+    # ------------------------------------------------------------------
+
+    def parallel(self, n_threads: int) -> "_RegionContext":
+        """Open a parallel region with ``n_threads`` threads."""
+        self.machine.validate_thread_count(n_threads)
+        if self._open_region is not None:
+            raise RuntimeError("nested parallel regions are not simulated")
+        return _RegionContext(self, n_threads)
+
+    def placement(self, n_threads: int) -> Placement:
+        return place_threads(
+            self.machine.topology, n_threads, self.proc_bind, self.places
+        )
+
+    # ------------------------------------------------------------------
+    # Constructs
+    # ------------------------------------------------------------------
+
+    def parallel_for(
+        self,
+        region: RegionStats,
+        n_iterations: int,
+        kind: ScheduleKind = ScheduleKind.STATIC,
+        chunk_size: int | None = None,
+    ) -> list[Chunk]:
+        """Schedule a worksharing loop; implicit barrier at the end."""
+        chunks = schedule_iterations(n_iterations, region.n_threads, kind, chunk_size)
+        region.scheduled_chunks += len(chunks)
+        region.load_imbalance = max(
+            region.load_imbalance, imbalance(chunks, region.n_threads)
+        )
+        self.barrier(region)
+        return chunks
+
+    def barrier(self, region: RegionStats) -> float:
+        """One barrier; returns its simulated cost in seconds."""
+        cost = self.machine.barrier_cost_s(region.n_threads)
+        region.barriers += 1
+        region.sync_seconds += cost
+        return cost
+
+    def reduction(self, region: RegionStats) -> float:
+        """A reduction: a barrier plus a log-depth combine tree."""
+        cost = 1.5 * self.machine.barrier_cost_s(region.n_threads)
+        region.reductions += 1
+        region.sync_seconds += cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # Placement quality (the Section 5.2 experiment)
+    # ------------------------------------------------------------------
+
+    def placement_efficiency(self, n_threads: int) -> float:
+        """Relative memory-system efficiency of the configured placement.
+
+        1.0 is the best achievable.  Unbound threads (``OMP_PROC_BIND``
+        unset or ``false``) reach 1.0: the OS's periodic rebalancing
+        spreads traffic over all memory controllers, which is what the
+        paper measured as fastest on the SG2044.  Bound placements lose
+        efficiency with cluster-cache crowding (``close`` packs four
+        threads per 2 MB L2 long before the chip is full) and ``master``
+        placements serialise entirely.
+        """
+        placement = self.placement(n_threads)
+        if placement.cores is None:
+            return 1.0
+        topo = self.machine.topology
+        occupancy = topo.max_cluster_occupancy(list(placement.cores))
+        ideal = max(1.0, n_threads / topo.n_clusters)
+        crowding = ideal / occupancy  # <= 1; equality when perfectly spread
+        if placement.bind is ProcBind.MASTER:
+            return crowding / n_threads
+        # Bound placements also forgo the OS's dynamic rebalancing around
+        # transient hotspots -- a small constant cost (the paper's
+        # "the OS did a better job at runtime").
+        return 0.97 * crowding
+
+
+class _RegionContext:
+    """Context manager that opens/closes one region on the runtime."""
+
+    def __init__(self, runtime: OpenMPRuntime, n_threads: int) -> None:
+        self._runtime = runtime
+        self._n_threads = n_threads
+        self.stats: RegionStats | None = None
+
+    def __enter__(self) -> RegionStats:
+        self.stats = RegionStats(n_threads=self._n_threads)
+        # Fork cost: one barrier-equivalent to wake the team.
+        self._runtime.barrier(self.stats)
+        self.stats.events.append("fork")
+        self._runtime._open_region = self.stats
+        return self.stats
+
+    def __exit__(self, *exc: object) -> None:
+        assert self.stats is not None
+        # Join: implicit barrier.
+        self._runtime.barrier(self.stats)
+        self.stats.events.append("join")
+        self._runtime.regions.append(self.stats)
+        self._runtime._open_region = None

@@ -1,0 +1,109 @@
+"""OpenMP loop-scheduling policies: static / dynamic / guided chunking.
+
+The NPB OpenMP codes use ``schedule(static)`` almost everywhere; the
+simulator nevertheless implements all three policies because the load-
+imbalance term of the performance model (and the affinity ablation bench)
+is defined in terms of the chunk assignment these produce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ScheduleKind", "Chunk", "schedule_iterations", "imbalance"]
+
+
+class ScheduleKind(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous range of loop iterations assigned to one thread."""
+
+    thread: int
+    start: int
+    stop: int  # exclusive
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError("empty chunk")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def schedule_iterations(
+    n_iterations: int,
+    n_threads: int,
+    kind: ScheduleKind = ScheduleKind.STATIC,
+    chunk_size: int | None = None,
+) -> list[Chunk]:
+    """Assign loop iterations to threads under an OpenMP schedule.
+
+    * ``static`` without a chunk size: one near-equal block per thread
+      (sizes differ by at most 1), like libgomp.
+    * ``static`` with a chunk size: round-robin blocks of that size.
+    * ``dynamic``: blocks of ``chunk_size`` (default 1) handed out in
+      order; the simulator assigns them round-robin, which is the
+      expected steady-state of equal-cost iterations.
+    * ``guided``: exponentially shrinking blocks, ``max(remaining /
+      n_threads, chunk_size)`` each, round-robin.
+    """
+    if n_iterations < 1:
+        raise ValueError("n_iterations must be >= 1")
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks: list[Chunk] = []
+    if kind is ScheduleKind.STATIC and chunk_size is None:
+        base = n_iterations // n_threads
+        extra = n_iterations % n_threads
+        pos = 0
+        for t in range(n_threads):
+            size = base + (1 if t < extra else 0)
+            if size == 0:
+                continue
+            chunks.append(Chunk(thread=t, start=pos, stop=pos + size))
+            pos += size
+        return chunks
+
+    size = chunk_size or 1
+    if size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    pos = 0
+    turn = 0
+    remaining = n_iterations
+    while remaining > 0:
+        if kind is ScheduleKind.GUIDED:
+            block = max(remaining // n_threads, size)
+        else:
+            block = size
+        block = min(block, remaining)
+        chunks.append(Chunk(thread=turn % n_threads, start=pos, stop=pos + block))
+        pos += block
+        remaining -= block
+        turn += 1
+    return chunks
+
+
+def imbalance(chunks: list[Chunk], n_threads: int) -> float:
+    """Load imbalance of an assignment: ``max_load / mean_load - 1``.
+
+    0 means perfectly balanced.  The model's imbalance coefficient for a
+    kernel at a given thread count can be cross-checked against this.
+    """
+    if not chunks:
+        raise ValueError("no chunks")
+    loads = [0] * n_threads
+    for ch in chunks:
+        loads[ch.thread] += ch.size
+    mean = sum(loads) / n_threads
+    if mean == 0:
+        raise ValueError("n_threads exceeds scheduled iterations everywhere")
+    return max(loads) / mean - 1.0

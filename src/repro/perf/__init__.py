@@ -1,0 +1,18 @@
+"""Simulated perf counters and the Section 6 CG vectorisation study."""
+
+from .counters import PerfCounters, measure
+from .profile import (
+    CGStudyRow,
+    UNROLL_SPEEDUPS,
+    UnrollVariant,
+    cg_vectorisation_study,
+)
+
+__all__ = [
+    "CGStudyRow",
+    "PerfCounters",
+    "UNROLL_SPEEDUPS",
+    "UnrollVariant",
+    "cg_vectorisation_study",
+    "measure",
+]

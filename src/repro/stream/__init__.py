@@ -1,0 +1,10 @@
+"""STREAM benchmark: functional host kernels + modelled Figure 1 curves."""
+
+from .stream import (
+    STREAM_KERNELS,
+    StreamResult,
+    modelled_bandwidth,
+    run_stream_host,
+)
+
+__all__ = ["STREAM_KERNELS", "StreamResult", "modelled_bandwidth", "run_stream_host"]

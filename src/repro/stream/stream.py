@@ -1,0 +1,126 @@
+"""STREAM -- the sustainable-memory-bandwidth benchmark.
+
+Functional side: the four canonical kernels (copy, scale, add, triad) on
+NumPy arrays, with the standard STREAM traffic accounting (2 arrays moved
+for copy/scale, 3 for add/triad) and best-of-N-trials timing.
+
+Modelled side: the bandwidth each paper machine sustains at a given core
+count -- i.e. the curves of the paper's Figure 1, where the SG2044 keeps
+scaling to 64 cores while the SG2042 plateaus just beyond 8, ending >3x
+apart.  That behaviour lives in
+:meth:`repro.machines.MemorySubsystem.stream_bw_gbs`; this module provides
+the benchmark-shaped interface over it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.machine import Machine
+
+__all__ = ["StreamResult", "run_stream_host", "modelled_bandwidth", "STREAM_KERNELS"]
+
+STREAM_KERNELS = ("copy", "scale", "add", "triad")
+
+#: Arrays touched per kernel (for GB/s accounting), per STREAM convention.
+_ARRAYS_MOVED = {"copy": 2, "scale": 2, "add": 3, "triad": 3}
+
+_SCALAR = 3.0
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Best-trial bandwidth for one kernel."""
+
+    kernel: str
+    array_bytes: int
+    best_seconds: float
+    bandwidth_gbs: float
+    verified: bool
+
+
+def _expected_final(kernel: str, trials: int) -> tuple[float, float, float]:
+    """Track the scalar evolution of (a, b, c) across trials for checking."""
+    a, b, c = 1.0, 2.0, 0.0
+    for _ in range(trials):
+        if kernel == "copy":
+            c = a
+        elif kernel == "scale":
+            b = _SCALAR * c
+        elif kernel == "add":
+            c = a + b
+        elif kernel == "triad":
+            a = b + _SCALAR * c
+        else:
+            raise ValueError(f"unknown STREAM kernel {kernel!r}")
+    return a, b, c
+
+
+def run_stream_host(
+    n_elements: int = 2_000_000, trials: int = 5
+) -> list[StreamResult]:
+    """Run the four kernels on the host and report best-trial bandwidth.
+
+    The arrays are (re)initialised to the canonical values (a=1, b=2,
+    c=0); verification replays the scalar recurrence and compares.
+    """
+    if n_elements < 1000:
+        raise ValueError("STREAM needs a reasonably large array")
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    results = []
+    bytes_per_array = 8 * n_elements
+    for kernel in STREAM_KERNELS:
+        a = np.full(n_elements, 1.0)
+        b = np.full(n_elements, 2.0)
+        c = np.zeros(n_elements)
+        best = float("inf")
+        for _ in range(trials):
+            t0 = time.perf_counter()
+            if kernel == "copy":
+                c[:] = a
+            elif kernel == "scale":
+                b[:] = _SCALAR * c
+            elif kernel == "add":
+                c[:] = a + b
+            else:  # triad
+                a[:] = b + _SCALAR * c
+            best = min(best, time.perf_counter() - t0)
+        ea, eb, ec = _expected_final(kernel, trials)
+        verified = bool(
+            np.allclose(a[::max(1, n_elements // 17)], ea)
+            and np.allclose(b[::max(1, n_elements // 17)], eb)
+            and np.allclose(c[::max(1, n_elements // 17)], ec)
+        )
+        moved = _ARRAYS_MOVED[kernel] * bytes_per_array
+        results.append(
+            StreamResult(
+                kernel=kernel,
+                array_bytes=bytes_per_array,
+                best_seconds=best,
+                bandwidth_gbs=moved / best / 1e9,
+                verified=verified,
+            )
+        )
+    return results
+
+
+def modelled_bandwidth(
+    machine: Machine, n_cores: int, kernel: str = "copy"
+) -> float:
+    """Modelled sustainable bandwidth (GB/s) -- one point of Figure 1.
+
+    The four kernels share the saturation curve; add/triad sustain
+    slightly less of the ceiling than copy/scale (three-array streams mix
+    reads and writes less favourably).
+    """
+    if kernel not in STREAM_KERNELS:
+        raise ValueError(f"unknown STREAM kernel {kernel!r}")
+    machine.validate_thread_count(n_cores)
+    bw = machine.memory.stream_bw_gbs(n_cores)
+    if kernel in ("add", "triad"):
+        bw *= 0.95
+    return bw

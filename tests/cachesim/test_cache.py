@@ -1,0 +1,84 @@
+"""Set-associative LRU cache behaviour."""
+
+import pytest
+
+from repro.cachesim.cache import SetAssociativeCache
+
+
+def cache(size=1024, line=64, assoc=2):
+    return SetAssociativeCache(size, line, assoc)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = cache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+
+    def test_geometry(self):
+        c = cache(1024, 64, 2)
+        assert c.n_sets == 8
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 64, 3)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 64, 1)
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        c = cache(2 * 64, 64, 2)  # one set, two ways
+        c.access(0)        # A
+        c.access(64)       # B  (0 and 64 map to set 0... with 1 set: yes)
+        c.access(0)        # A touched: B is now LRU
+        c.access(128)      # C evicts B
+        assert c.access(0)       # A survives
+        assert not c.access(64)  # B was evicted
+
+    def test_associativity_prevents_conflict(self):
+        direct = cache(2 * 64, 64, 1)  # 2 sets, direct mapped
+        direct.access(0)
+        direct.access(128)  # same set as 0: conflict evicts
+        assert not direct.access(0)
+
+        assoc = cache(2 * 64, 64, 2)  # 1 set, 2-way
+        assoc.access(0)
+        assoc.access(128)
+        assert assoc.access(0)  # both fit
+
+    def test_no_allocate_probes_without_displacing(self):
+        c = cache(2 * 64, 64, 2)
+        c.access(0)
+        c.access(64)
+        assert not c.access(128, allocate=False)  # miss, no insertion
+        assert c.access(0)
+        assert c.access(64)
+
+    def test_working_set_within_capacity_all_hits(self):
+        c = cache(64 * 64, 64, 8)
+        lines = [i * 64 for i in range(32)]
+        for a in lines:
+            c.access(a)
+        assert all(c.access(a) for a in lines)
+
+
+class TestStats:
+    def test_counters(self):
+        c = cache()
+        c.access(0)
+        c.access(0)
+        c.access(4096)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 2
+        assert c.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_flush_keeps_stats_drops_lines(self):
+        c = cache()
+        c.access(0)
+        c.flush()
+        assert c.resident_lines() == 0
+        assert not c.access(0)
+        assert c.stats.misses == 2

@@ -1,0 +1,109 @@
+"""Hierarchy + trace generators + the Table 1 profile."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.hierarchy import xeon8170_hierarchy
+from repro.cachesim.stats import profile_kernel, table1_profile
+from repro.cachesim.trace import KERNEL_TRACES, build_trace
+
+
+class TestHierarchy:
+    def test_levels_and_latencies(self):
+        h = xeon8170_hierarchy()
+        assert h.latencies == (4, 14, 60, 200)
+        assert h.l1.size_bytes < h.l2.size_bytes < h.l3.size_bytes
+
+    def test_repeat_access_promotes_to_l1(self):
+        h = xeon8170_hierarchy()
+        assert h.access(0) == 4  # cold: DRAM
+        assert h.access(0) == 1  # now L1
+
+    def test_run_trace_counts_everything(self):
+        h = xeon8170_hierarchy()
+        trace = np.arange(0, 64 * 1000, 64, dtype=np.int64)
+        counts, levels = h.run_trace(trace)
+        assert counts.total == len(trace)
+        assert len(levels) == len(trace)
+
+    def test_streaming_mask_length_checked(self):
+        h = xeon8170_hierarchy()
+        with pytest.raises(ValueError):
+            h.run_trace(np.zeros(10, dtype=np.int64), np.zeros(5, dtype=bool))
+
+
+class TestTraces:
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_TRACES))
+    def test_trace_builds_with_mask(self, kernel):
+        addrs, mask, spec = build_trace(kernel, n_accesses=5000)
+        assert len(addrs) == len(mask) == 5000
+        assert addrs.min() >= 0
+        assert spec.kernel == kernel
+
+    def test_deterministic(self):
+        a1, m1, _ = build_trace("cg", 4000, seed=3)
+        a2, m2, _ = build_trace("cg", 4000, seed=3)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(m1, m2)
+
+    def test_ep_trace_fully_prefetchable_or_tiny(self):
+        addrs, mask, _ = build_trace("ep", 5000)
+        # EP's streams live in tens of KiB: tiny footprint.
+        assert addrs.max() < 64 * 2**20
+
+    def test_is_histogram_not_prefetchable(self):
+        _, mask, _ = build_trace("is", 5000)
+        assert 0.2 < (~mask).mean() < 0.95
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            build_trace("hpl")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            build_trace("is", 10)
+
+
+class TestTable1Profile:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return table1_profile(n_accesses=40_000)
+
+    def test_all_eight_kernels(self, profiles):
+        assert len(profiles) == 8
+
+    def test_ep_has_no_memory_problem(self, profiles):
+        c, d, b = profiles["ep"].as_percentages()
+        assert d <= 2
+        assert b == 0
+        assert c < 20
+
+    def test_mg_is_the_bandwidth_hog(self, profiles):
+        bw = {k: p.ddr_bandwidth_bound for k, p in profiles.items()}
+        assert max(bw, key=bw.get) == "mg"
+        assert bw["mg"] > 0.5
+
+    def test_is_stalls_on_cache_not_ddr(self, profiles):
+        c, d, _ = profiles["is"].as_percentages()
+        assert c > 20
+        assert d < c / 3
+
+    def test_sp_stalls_exceed_bt(self, profiles):
+        sp = profiles["sp"]
+        bt = profiles["bt"]
+        assert sp.cache_stall + sp.ddr_stall > bt.cache_stall + bt.ddr_stall
+
+    def test_pseudo_apps_not_bandwidth_bound(self, profiles):
+        for app in ("bt", "lu", "sp"):
+            assert profiles[app].ddr_bandwidth_bound < 0.15
+
+    def test_fractions_in_range(self, profiles):
+        for p in profiles.values():
+            assert 0.0 <= p.cache_stall <= 1.0
+            assert 0.0 <= p.ddr_stall <= 1.0
+            assert 0.0 <= p.ddr_bandwidth_bound <= 1.0
+            assert p.cache_stall + p.ddr_stall < 1.0
+
+    def test_warmup_fraction_validated(self):
+        with pytest.raises(ValueError):
+            profile_kernel("is", warmup_fraction=1.0)

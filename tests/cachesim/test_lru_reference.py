@@ -1,0 +1,56 @@
+"""Property test: the cache against an independent reference LRU model."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim.cache import SetAssociativeCache
+
+
+class ReferenceLRU:
+    """Straight-line reference: an OrderedDict per set, no cleverness."""
+
+    def __init__(self, size, line, assoc):
+        self.line = line
+        self.assoc = assoc
+        self.n_sets = size // (line * assoc)
+        self.sets = [OrderedDict() for _ in range(self.n_sets)]
+
+    def access(self, addr):
+        ln = addr // self.line
+        s = self.sets[ln % self.n_sets]
+        tag = ln // self.n_sets
+        if tag in s:
+            s.move_to_end(tag)
+            return True
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[tag] = None
+        return False
+
+
+@given(
+    addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=600),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_lru(addrs, assoc):
+    size = 64 * assoc * 8  # 8 sets
+    cache = SetAssociativeCache(size, 64, assoc)
+    ref = ReferenceLRU(size, 64, assoc)
+    for a in addrs:
+        assert cache.access(a) == ref.access(a)
+
+
+@given(addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_bigger_cache_never_hits_less(addrs):
+    small = SetAssociativeCache(1024, 64, 4)
+    big = SetAssociativeCache(4096, 64, 4)
+    for a in addrs:
+        small.access(a)
+        big.access(a)
+    # LRU set-associative caches of the same geometry family are
+    # inclusion-ordered: more ways/sets of the same shape never hurt.
+    assert big.stats.hits >= small.stats.hits

@@ -1,0 +1,43 @@
+"""The Section 5.4 L2-doubling ablation for CG."""
+
+import pytest
+
+from repro.cachesim.sophon import cg_l2_ablation, sophon_hierarchy
+
+
+class TestSophonHierarchy:
+    def test_latencies_match_catalog_story(self):
+        h = sophon_hierarchy(2)
+        assert h.latencies == (3, 24, 70, 210)
+
+    def test_l2_scales_with_parameter(self):
+        assert sophon_hierarchy(2).l2.size_bytes == 2 * sophon_hierarchy(1).l2.size_bytes
+
+    def test_bad_l2_rejected(self):
+        with pytest.raises(ValueError):
+            sophon_hierarchy(0)
+
+
+class TestCGL2Ablation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return cg_l2_ablation()
+
+    def test_doubled_l2_holds_the_x_vector(self, results):
+        # The paper's hypothesis: class C's 1.2 MB x-vector fits the
+        # SG2044's 2 MB cluster L2 but not the SG2042's 1 MB.
+        assert results[2].fast_fraction > 0.95
+        assert results[1].fast_fraction < 0.85
+
+    def test_sg2042_spills_a_material_share_to_l3(self, results):
+        assert results[1].l3_or_dram_fraction > 0.15
+        assert results[2].l3_or_dram_fraction < 0.05
+
+    def test_fractions_sum_to_one(self, results):
+        for stats in results.values():
+            total = stats.l1_fraction + stats.l2_fraction + stats.l3_or_dram_fraction
+            assert total == pytest.approx(1.0)
+
+    def test_tiny_vector_rejected(self):
+        with pytest.raises(ValueError):
+            cg_l2_ablation(x_vector_bytes=100)

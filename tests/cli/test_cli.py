@@ -1,0 +1,78 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_range_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "sg2044" in out and "RVV v1.0.0" in out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "Sophon SG2044" in capsys.readouterr().out
+
+    def test_table4_csv(self, capsys):
+        assert main(["table", "4", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("Benchmark,")
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "STREAM" in capsys.readouterr().out
+
+    def test_npb_ep_class_s(self, capsys):
+        assert main(["npb", "ep", "--npb-class", "S"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "sg2044", "is", "--threads", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Mop/s" in out and "dominant" in out
+
+    def test_cg_study(self, capsys):
+        assert main(["cg-study"]) == 0
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_stream(self, capsys):
+        assert main(["stream", "--elements", "100000"]) == 0
+        assert "GB/s" in capsys.readouterr().out
+
+
+class TestExplorationCommands:
+    def test_ablate(self, capsys):
+        assert main(["ablate", "ep", "--threads", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "clock" in out and "memory" in out
+
+    def test_cluster(self, capsys):
+        assert main(["cluster", "sg2044", "ep", "--sockets", "1", "4"]) == 0
+        assert "socket" in capsys.readouterr().out
+
+    def test_roofline(self, capsys):
+        assert main(["roofline", "sg2044"]) == 0
+        out = capsys.readouterr().out
+        assert "ridge" in out and "compute-bound" in out
+
+    def test_export(self, capsys, tmp_path):
+        assert main(["export", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "table4.csv" in out and "figure2.csv" in out
+
+    def test_score(self, capsys):
+        assert main(["score"]) == 0
+        out = capsys.readouterr().out
+        assert "anchored" in out and "emergent" in out

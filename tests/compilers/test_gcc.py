@@ -1,0 +1,56 @@
+"""The concrete compiler registry used by the paper's experiments."""
+
+import pytest
+
+from repro.compilers.gcc import (
+    compiler_names,
+    default_compiler_for,
+    get_compiler,
+)
+from repro.machines.catalog import machine_names
+
+
+class TestRegistry:
+    def test_paper_compilers_present(self):
+        names = compiler_names()
+        for required in ("gcc-15.2", "gcc-12.3.1", "xuantie-gcc-8.4",
+                         "gcc-11.2", "gcc-9.2", "gcc-8.4", "llvm-18"):
+            assert required in names
+
+    def test_unknown_compiler_helpful_error(self):
+        with pytest.raises(KeyError, match="gcc-15.2"):
+            get_compiler("gcc-99")
+
+    def test_every_machine_has_a_default(self):
+        for machine in machine_names():
+            assert default_compiler_for(machine) in compiler_names()
+
+    def test_paper_default_assignments(self):
+        assert default_compiler_for("sg2044") == "gcc-15.2"
+        assert default_compiler_for("sg2042") == "xuantie-gcc-8.4"
+        assert default_compiler_for("epyc7742") == "gcc-11.2"
+        assert default_compiler_for("skylake8170") == "gcc-8.4"
+        assert default_compiler_for("thunderx2") == "gcc-9.2"
+
+    def test_unknown_machine_default_rejected(self):
+        with pytest.raises(KeyError):
+            default_compiler_for("cray-1")
+
+
+class TestGcc1231Fits:
+    """The Table 7-derived scalar-quality factors."""
+
+    def test_mg_scalar_regression_in_15(self):
+        # 12.3.1's scalar MG code *beats* 15.2's (Table 7: 1373 vs 1300).
+        spec = get_compiler("gcc-12.3.1")
+        assert spec.scalar_quality_for("mg") > 1.0
+
+    def test_ft_scalar_improved_in_15(self):
+        spec = get_compiler("gcc-12.3.1")
+        assert spec.scalar_quality_for("ft") < 0.95
+
+    def test_is_saturation_quality_penalty(self):
+        # Table 8: 12.3.1 extracts only ~74% of the 64-core IS rate.
+        spec = get_compiler("gcc-12.3.1")
+        assert spec.saturation_quality_for("is") < 0.8
+        assert get_compiler("gcc-15.2").saturation_quality_for("is") == 1.0

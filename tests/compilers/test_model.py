@@ -1,0 +1,152 @@
+"""Compiler legality and vectorisation-outcome model."""
+
+import pytest
+
+from repro.compilers.model import (
+    CompilerFamily,
+    CompilerSpec,
+    vectorisation_outcome,
+)
+from repro.machines.cpu import VectorStandard, VectorUnit
+
+RVV1_128 = VectorUnit(VectorStandard.RVV_1_0, 128)
+RVV1_256 = VectorUnit(VectorStandard.RVV_1_0, 256)
+RVV071 = VectorUnit(VectorStandard.RVV_0_7_1, 128)
+AVX512 = VectorUnit(VectorStandard.AVX512, 512, 2)
+NONE = VectorUnit(VectorStandard.NONE, 0)
+
+
+def gcc(*version):
+    return CompilerSpec(CompilerFamily.GCC, version)
+
+
+def xuantie():
+    return CompilerSpec(CompilerFamily.XUANTIE_GCC, (8, 4))
+
+
+def llvm(*version):
+    return CompilerSpec(CompilerFamily.LLVM, version)
+
+
+class TestLegality:
+    """The paper's central compiler facts."""
+
+    def test_mainline_gcc_cannot_target_rvv_071(self):
+        assert not gcc(15, 2).can_vectorise(VectorStandard.RVV_0_7_1)
+
+    def test_only_xuantie_fork_targets_rvv_071(self):
+        assert xuantie().can_vectorise(VectorStandard.RVV_0_7_1)
+
+    def test_gcc_14_gains_full_rvv_10(self):
+        assert not gcc(13, 1).can_vectorise(VectorStandard.RVV_1_0)
+        assert gcc(14, 0).can_vectorise(VectorStandard.RVV_1_0)
+        assert gcc(15, 2).can_vectorise(VectorStandard.RVV_1_0)
+
+    def test_gcc_12_cannot_vectorise_rvv(self):
+        # Why Table 7's GCC 12.3.1 column is scalar-only on the SG2044.
+        assert not gcc(12, 3, 1).can_vectorise(VectorStandard.RVV_1_0)
+
+    def test_llvm_supported_rvv_before_gcc(self):
+        assert llvm(16, 0).can_vectorise(VectorStandard.RVV_1_0)
+
+    def test_old_gcc_fine_for_x86_and_arm(self):
+        for std in (VectorStandard.AVX2, VectorStandard.AVX512, VectorStandard.NEON):
+            assert gcc(8, 4).can_vectorise(std)
+
+    def test_xuantie_is_riscv_only(self):
+        assert not xuantie().can_vectorise(VectorStandard.AVX2)
+
+    def test_nothing_vectorises_for_no_unit(self):
+        assert not gcc(15, 2).can_vectorise(VectorStandard.NONE)
+
+
+class TestMaturity:
+    def test_x86_fully_mature(self):
+        assert gcc(11, 2).vectorisation_maturity(VectorStandard.AVX2) == 1.0
+
+    def test_rvv_maturity_improves_14_to_15(self):
+        assert gcc(15, 2).vectorisation_maturity(
+            VectorStandard.RVV_1_0
+        ) > gcc(14, 2).vectorisation_maturity(VectorStandard.RVV_1_0)
+
+    def test_illegal_target_has_zero_maturity(self):
+        assert gcc(12, 3).vectorisation_maturity(VectorStandard.RVV_1_0) == 0.0
+
+
+class TestVectorisationOutcome:
+    def test_not_requested_means_scalar(self):
+        out = vectorisation_outcome(gcc(15, 2), RVV1_128, "mg", 0.5, vectorise=False)
+        assert not out.applied
+        assert out.compute_multiplier == 1.0
+
+    def test_illegal_means_scalar_even_if_requested(self):
+        out = vectorisation_outcome(gcc(12, 3), RVV1_128, "mg", 0.5, vectorise=True)
+        assert out.legal is False
+        assert not out.applied
+
+    def test_healthy_vectorisation_speeds_compute(self):
+        out = vectorisation_outcome(gcc(15, 2), RVV1_128, "mg", 0.5, vectorise=True)
+        assert out.applied
+        assert out.compute_multiplier > 1.0
+        assert out.latency_multiplier == 1.0
+
+    def test_wider_units_give_more(self):
+        narrow = vectorisation_outcome(gcc(11, 2), VectorUnit(VectorStandard.AVX2, 256, 1), "mg", 0.6, True)
+        wide = vectorisation_outcome(gcc(11, 2), AVX512, "mg", 0.6, True)
+        assert wide.compute_multiplier > narrow.compute_multiplier
+
+    def test_cg_pathology_slows_everything(self):
+        out = vectorisation_outcome(
+            gcc(15, 2), RVV1_128, "cg", 0.75, True, gather_pathology=1.0
+        )
+        assert out.applied
+        assert out.compute_multiplier < 1.0
+        assert out.latency_multiplier > 2.0
+        assert out.branch_miss_multiplier == pytest.approx(2.0)
+
+    def test_pathology_marginal_on_256bit(self):
+        # The paper: "some performance reduction on the SpacemiT K1/M1 ...
+        # however this was marginal."
+        out = vectorisation_outcome(
+            gcc(15, 2), RVV1_256, "cg", 0.75, True, gather_pathology=1.0
+        )
+        assert 0.85 < out.compute_multiplier < 1.0
+
+    def test_pathology_does_not_hit_xuantie_071(self):
+        out = vectorisation_outcome(
+            xuantie(), RVV071, "cg", 0.75, True, gather_pathology=1.0
+        )
+        assert out.compute_multiplier > 1.0
+
+    def test_zero_vec_fraction_is_neutral(self):
+        out = vectorisation_outcome(gcc(15, 2), RVV1_128, "ep", 0.0, True)
+        assert not out.applied
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            vectorisation_outcome(gcc(15, 2), RVV1_128, "mg", 1.5, True)
+
+
+class TestCompilerSpecValidation:
+    def test_version_string_and_display(self):
+        assert gcc(12, 3, 1).version_str == "12.3.1"
+        assert "XuanTie" in xuantie().display
+
+    def test_scalar_quality_lookup_with_default(self):
+        spec = CompilerSpec(
+            CompilerFamily.GCC, (12,), scalar_quality={"mg": 1.05},
+            default_scalar_quality=0.98,
+        )
+        assert spec.scalar_quality_for("mg") == 1.05
+        assert spec.scalar_quality_for("ep") == 0.98
+
+    def test_saturation_quality_defaults_to_one(self):
+        assert gcc(15, 2).saturation_quality_for("is") == 1.0
+
+    def test_empty_version_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerSpec(CompilerFamily.GCC, ())
+
+    def test_nonpositive_quality_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerSpec(CompilerFamily.GCC, (15,), scalar_quality={"mg": 0.0})

@@ -1,0 +1,24 @@
+"""Shared fixtures: noise-free runners and small cached model objects."""
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner
+from repro.core.perfmodel import PerformanceModel
+
+
+@pytest.fixture(scope="session")
+def model() -> PerformanceModel:
+    """One calibrated model reused across the whole test session."""
+    return PerformanceModel()
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Noise-free runner so assertions are exact and fast."""
+    return ExperimentRunner(noise_cv=0.0)
+
+
+@pytest.fixture(scope="session")
+def noisy_runner() -> ExperimentRunner:
+    """Default runner with the paper's five-run noisy protocol."""
+    return ExperimentRunner()

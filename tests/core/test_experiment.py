@@ -1,0 +1,81 @@
+"""The experiment runner: protocol, noise, determinism."""
+
+import pytest
+
+from repro.core.experiment import DEFAULT_RUNS, ExperimentConfig, ExperimentRunner
+from repro.core.perfmodel import DNRError
+
+
+class TestConfig:
+    def test_defaults_match_paper_protocol(self):
+        cfg = ExperimentConfig(machine="sg2044", kernel="ep")
+        assert cfg.runs == DEFAULT_RUNS == 5
+        assert cfg.npb_class == "C"
+
+    def test_with_threads_clones(self):
+        cfg = ExperimentConfig(machine="sg2044", kernel="ep")
+        assert cfg.with_threads(64).n_threads == 64
+        assert cfg.n_threads == 1
+
+    def test_resolved_compiler_uses_paper_default(self):
+        assert ExperimentConfig(machine="sg2042", kernel="ep").resolved_compiler() == "xuantie-gcc-8.4"
+        assert (
+            ExperimentConfig(machine="sg2042", kernel="ep", compiler="gcc-15.2").resolved_compiler()
+            == "gcc-15.2"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(machine="x", kernel="ep", n_threads=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(machine="x", kernel="ep", runs=0)
+
+
+class TestRunner:
+    def test_five_samples(self, noisy_runner):
+        res = noisy_runner.run(ExperimentConfig(machine="sg2044", kernel="ep"))
+        assert len(res.samples) == 5
+
+    def test_deterministic_across_runner_instances(self):
+        cfg = ExperimentConfig(machine="sg2044", kernel="mg", n_threads=16)
+        a = ExperimentRunner().run(cfg)
+        b = ExperimentRunner().run(cfg)
+        assert a.mean_mops == b.mean_mops
+        assert [s.mops for s in a.samples] == [s.mops for s in b.samples]
+
+    def test_different_seeds_differ(self):
+        cfg = ExperimentConfig(machine="sg2044", kernel="mg", n_threads=16)
+        a = ExperimentRunner(seed=1).run(cfg)
+        b = ExperimentRunner(seed=2).run(cfg)
+        assert a.mean_mops != b.mean_mops
+
+    def test_noise_dispersion_reasonable(self, noisy_runner):
+        res = noisy_runner.run(
+            ExperimentConfig(machine="sg2044", kernel="mg", n_threads=64, runs=5)
+        )
+        assert 0.0 < res.cv_percent < 15.0
+
+    def test_zero_noise_means_identical_samples(self, runner):
+        res = runner.run(ExperimentConfig(machine="sg2044", kernel="ep"))
+        assert res.stdev_mops == 0.0
+
+    def test_sweep_threads(self, runner):
+        cfg = ExperimentConfig(machine="sg2044", kernel="ep")
+        sweep = runner.sweep_threads(cfg, [1, 2, 4])
+        assert [r.n_threads for r in sweep] == [1, 2, 4]
+        assert sweep[2].mean_mops > sweep[0].mean_mops
+
+    def test_dnr_propagates(self, runner):
+        with pytest.raises(DNRError):
+            runner.run(
+                ExperimentConfig(machine="allwinner-d1", kernel="ft", npb_class="B")
+            )
+
+    def test_summary_mentions_config(self, runner):
+        res = runner.run(ExperimentConfig(machine="sg2044", kernel="ep"))
+        assert "EP.C" in res.summary()
+        assert "sg2044" in res.summary()
+
+    def test_bad_noise_cv_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(noise_cv=0.5)

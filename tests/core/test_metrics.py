@@ -1,0 +1,68 @@
+"""Derived-metric helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    crossover_threads,
+    parallel_efficiency,
+    percent_of,
+    speedup_curve,
+    times_faster,
+)
+
+
+class TestTimesFaster:
+    def test_paper_headline_value(self):
+        assert times_faster(3038.14, 618.50) == pytest.approx(4.91, abs=0.005)
+
+    @given(a=st.floats(0.01, 1e9), b=st.floats(0.01, 1e9))
+    def test_antisymmetry(self, a, b):
+        assert times_faster(a, b) * times_faster(b, a) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            times_faster(0.0, 1.0)
+
+
+class TestPercentOf:
+    def test_table2_style(self):
+        # Milk-V Jupyter EP: 20.4 of the SG2044's 40.75 -> 50%.
+        assert percent_of(20.4, 40.75) == pytest.approx(50.06, abs=0.01)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            percent_of(1.0, 0.0)
+
+
+class TestSpeedupCurves:
+    CURVE = [(1, 100.0), (2, 190.0), (4, 360.0)]
+
+    def test_speedup(self):
+        assert speedup_curve(self.CURVE) == [(1, 1.0), (2, 1.9), (4, 3.6)]
+
+    def test_efficiency(self):
+        eff = dict(parallel_efficiency(self.CURVE))
+        assert eff[1] == 1.0
+        assert eff[4] == pytest.approx(0.9)
+
+    def test_requires_single_thread_point(self):
+        with pytest.raises(ValueError):
+            speedup_curve([(2, 100.0)])
+
+
+class TestCrossover:
+    def test_finds_first_overtake(self):
+        a = [(1, 10.0), (2, 30.0), (4, 80.0)]
+        b = [(1, 20.0), (2, 25.0), (4, 50.0)]
+        assert crossover_threads(a, b) == 2
+
+    def test_none_when_never_overtakes(self):
+        a = [(1, 10.0), (2, 20.0)]
+        b = [(1, 20.0), (2, 40.0)]
+        assert crossover_threads(a, b) is None
+
+    def test_only_common_points_compared(self):
+        a = [(1, 10.0), (64, 1000.0)]
+        b = [(1, 20.0), (32, 500.0)]
+        assert crossover_threads(a, b) is None

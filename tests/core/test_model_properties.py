@@ -1,0 +1,95 @@
+"""Cross-cutting model invariants, property-tested over the catalog."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compilers.gcc import default_compiler_for, get_compiler
+from repro.core.perfmodel import DNRError, PerformanceModel
+from repro.machines.catalog import PAPER_HPC_MACHINES, get_machine, machine_names
+from repro.npb.params import ALL_BENCHMARKS
+from repro.npb.signatures import signature_for
+
+MODEL = PerformanceModel()
+
+
+def predict(machine_name, kernel, n, npb_class="C", vectorise=None):
+    machine = get_machine(machine_name)
+    if vectorise is None:
+        vectorise = kernel != "cg"
+    return MODEL.predict(
+        machine,
+        signature_for(kernel, npb_class),
+        get_compiler(default_compiler_for(machine_name)),
+        n,
+        vectorise,
+    )
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("machine", PAPER_HPC_MACHINES)
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS)
+    def test_time_essentially_never_increases_with_threads(self, machine, kernel):
+        # Halo-exchange volume grows ~n^(2/3), so a saturated machine may
+        # dip a couple of percent at full occupancy (the paper's own
+        # SG2042 curves flatten the same way); anything beyond 2% per
+        # step would be a model bug.
+        cores = get_machine(machine).n_cores
+        counts = [n for n in (1, 2, 4, 8, 16, 32, 64) if n <= cores]
+        times = [predict(machine, kernel, n).time_s for n in counts]
+        running_min = times[0]
+        for t in times[1:]:
+            assert t <= running_min * 1.05
+            running_min = min(running_min, t)
+
+    @pytest.mark.parametrize("machine", PAPER_HPC_MACHINES)
+    @pytest.mark.parametrize("kernel", ["is", "mg", "ep", "cg", "ft"])
+    def test_speedup_never_superlinear(self, machine, kernel):
+        cores = get_machine(machine).n_cores
+        t1 = predict(machine, kernel, 1).time_s
+        tn = predict(machine, kernel, cores).time_s
+        assert t1 / tn <= cores * 1.001
+
+    @pytest.mark.parametrize("kernel", ["is", "mg", "cg", "ft"])
+    def test_larger_class_takes_longer(self, kernel):
+        for machine in ("sg2044", "sg2042"):
+            tb = predict(machine, kernel, 1, npb_class="B").time_s
+            tc = predict(machine, kernel, 1, npb_class="C").time_s
+            assert tc > tb
+
+
+class TestEveryConfigurationIsFinite:
+    @pytest.mark.parametrize("machine", sorted(machine_names()))
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS)
+    def test_class_s_everywhere(self, machine, kernel):
+        # Class S fits every machine in the catalog, including the D1.
+        pred = predict(machine, kernel, 1, npb_class="S")
+        assert pred.time_s > 0
+        assert pred.mops > 0
+
+    @given(
+        n=st.integers(1, 64),
+        kernel=st.sampled_from(ALL_BENCHMARKS),
+        vec=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_breakdown_always_consistent(self, n, kernel, vec):
+        pred = MODEL.predict(
+            get_machine("sg2044"),
+            signature_for(kernel, "C"),
+            get_compiler("gcc-15.2"),
+            n,
+            vec,
+        )
+        assert pred.time_s == pytest.approx(
+            max(pred.t_compute, pred.t_stream) + pred.t_latency + pred.t_sync,
+            rel=1e-9,
+        )
+        assert pred.t_compute >= 0 and pred.t_latency >= 0
+
+
+class TestVectorisationNeverChangesMemoryTerms:
+    @pytest.mark.parametrize("kernel", ["is", "mg", "ep", "ft"])
+    def test_stream_term_vec_invariant(self, kernel):
+        vec = predict("sg2044", kernel, 8, vectorise=True)
+        novec = predict("sg2044", kernel, 8, vectorise=False)
+        assert vec.t_stream == pytest.approx(novec.t_stream, rel=1e-9)

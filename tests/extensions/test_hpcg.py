@@ -1,0 +1,72 @@
+"""HPCG extension: 27-point operator, SymGS-preconditioned CG."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.hpcg import build_poisson27, hpcg_signature, run_hpcg_host
+
+
+class TestOperator:
+    def test_symmetric(self):
+        a = build_poisson27(5)
+        diff = (a - a.T).tocoo()
+        assert diff.nnz == 0 or np.abs(diff.data).max() == 0
+
+    def test_interior_row_sums_to_zero(self):
+        # 26 on the diagonal, -1 on 26 neighbours.
+        n = 5
+        a = build_poisson27(n)
+        centre = (n // 2) * n * n + (n // 2) * n + n // 2
+        assert a[centre].sum() == pytest.approx(0.0)
+
+    def test_corner_has_seven_point_neighbourhood(self):
+        a = build_poisson27(4)
+        assert a[0].nnz == 8  # corner: itself + 7 neighbours
+
+    def test_positive_definite(self):
+        a = build_poisson27(4).toarray()
+        eig = np.linalg.eigvalsh(a)
+        assert eig.min() > 0
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            build_poisson27(1)
+
+
+class TestRunHPCG:
+    def test_converges_and_verifies(self):
+        result = run_hpcg_host(grid=8, iterations=20)
+        assert result.verified
+        assert result.final_relative_residual < 1e-6
+        assert result.symmetry_error < 1e-10
+
+    def test_more_iterations_tighter_residual(self):
+        short = run_hpcg_host(grid=8, iterations=3)
+        long = run_hpcg_host(grid=8, iterations=15)
+        assert long.final_relative_residual < short.final_relative_residual
+
+
+class TestHPCGSignature:
+    def test_memory_bound_character(self):
+        sig = hpcg_signature()
+        assert sig.memory_character() in ("bandwidth-bound", "mixed")
+        assert sig.dram_bytes_per_op >= 3.0
+
+    def test_sg2044_closes_gap_on_hpcg_not_hpl(self, model):
+        # The interesting Section 7 prediction: the SG2044/EPYC ratio is
+        # far better on HPCG than on HPL.
+        from repro.compilers.gcc import get_compiler
+        from repro.extensions.hpl import hpl_signature
+        from repro.machines.catalog import get_machine
+
+        sg, epyc = get_machine("sg2044"), get_machine("epyc7742")
+        gcc15, gcc11 = get_compiler("gcc-15.2"), get_compiler("gcc-11.2")
+        hpl_ratio = (
+            model.predict(sg, hpl_signature(20_000), gcc15, 64).mops
+            / model.predict(epyc, hpl_signature(20_000), gcc11, 64).mops
+        )
+        hpcg_ratio = (
+            model.predict(sg, hpcg_signature(), gcc15, 64).mops
+            / model.predict(epyc, hpcg_signature(), gcc11, 64).mops
+        )
+        assert hpcg_ratio > 1.5 * hpl_ratio

@@ -1,0 +1,84 @@
+"""HPL extension: blocked LU correctness and the official residual check."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.hpl import hpl_signature, lu_factor_blocked, run_hpl_host
+
+
+class TestBlockedLU:
+    def test_reconstructs_pa_equals_lu(self):
+        rng = np.random.default_rng(12)
+        n = 64
+        a0 = rng.normal(size=(n, n))
+        a = a0.copy()
+        piv = lu_factor_blocked(a, block=16)
+        l = np.tril(a, -1) + np.eye(n)
+        u = np.triu(a)
+        assert np.allclose(l @ u, a0[piv], atol=1e-10)
+
+    def test_block_size_does_not_change_factorisation(self):
+        rng = np.random.default_rng(13)
+        a0 = rng.normal(size=(48, 48))
+        outs = []
+        for block in (1, 8, 48, 64):
+            a = a0.copy()
+            lu_factor_blocked(a, block)
+            outs.append(a)
+        for other in outs[1:]:
+            assert np.allclose(outs[0], other, atol=1e-11)
+
+    def test_singular_matrix_detected(self):
+        with pytest.raises(ZeroDivisionError):
+            lu_factor_blocked(np.zeros((8, 8)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            lu_factor_blocked(np.zeros((4, 6)))
+
+
+class TestRunHPL:
+    def test_residual_passes_official_threshold(self):
+        result = run_hpl_host(n=192)
+        assert result.verified
+        assert result.residual < 16.0
+        assert result.gflops > 0
+
+    def test_flop_accounting(self):
+        r = run_hpl_host(n=128)
+        # 2/3 n^3 dominates.
+        assert r.gflops * r.time_s * 1e9 == pytest.approx(
+            (2 / 3) * 128**3 + 2 * 128**2
+        )
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ValueError):
+            run_hpl_host(n=4)
+
+
+class TestHPLSignature:
+    def test_compute_bound_character(self):
+        sig = hpl_signature(20_000)
+        assert sig.memory_character() == "compute-bound"
+        assert sig.vec_fraction > 0.9
+
+    def test_models_on_all_hpc_machines(self, model):
+        from repro.compilers.gcc import default_compiler_for, get_compiler
+        from repro.machines.catalog import get_machine
+
+        for name in ("sg2044", "sg2042", "epyc7742"):
+            m = get_machine(name)
+            pred = model.predict(
+                m, hpl_signature(20_000), get_compiler(default_compiler_for(name)), m.n_cores
+            )
+            assert pred.mops > 0
+
+    def test_wide_vectors_win_hpl(self, model):
+        # The paper's implicit expectation: HPL favours AVX-512 et al.
+        from repro.compilers.gcc import get_compiler
+        from repro.machines.catalog import get_machine
+
+        sig = hpl_signature(20_000)
+        sg = model.predict(get_machine("sg2044"), sig, get_compiler("gcc-15.2"), 64)
+        epyc = model.predict(get_machine("epyc7742"), sig, get_compiler("gcc-11.2"), 64)
+        assert epyc.mops > 1.5 * sg.mops

@@ -1,0 +1,18 @@
+"""The LLVM-vs-GCC future-work study."""
+
+from repro.extensions.llvm_study import llvm_vs_gcc
+
+
+def test_five_kernels_compared():
+    rows = llvm_vs_gcc()
+    assert [r.kernel for r in rows] == ["is", "mg", "ep", "cg", "ft"]
+
+
+def test_llvm_within_sane_band_of_gcc():
+    for row in llvm_vs_gcc():
+        assert 0.8 < row.llvm_over_gcc < 1.25
+
+
+def test_multicore_variant_runs():
+    rows = llvm_vs_gcc(n_threads=64)
+    assert all(r.gcc_mops > 0 and r.llvm_mops > 0 for r in rows)

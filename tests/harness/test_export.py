@@ -1,0 +1,34 @@
+"""Bulk CSV export."""
+
+import pytest
+
+from repro.harness.export import export_all
+
+
+class TestExport:
+    def test_selected_subset(self, tmp_path):
+        written = export_all(tmp_path, tables=(4, 5), figures=(1,))
+        names = sorted(p.name for p in written)
+        assert names == ["INDEX.md", "figure1.csv", "table4.csv", "table5.csv"]
+
+    def test_csv_contents_parse(self, tmp_path):
+        export_all(tmp_path, tables=(4,), figures=())
+        lines = (tmp_path / "table4.csv").read_text().strip().split("\n")
+        assert lines[0].startswith("Benchmark,")
+        assert len(lines) == 6  # header + 5 kernels
+
+    def test_index_lists_artifacts(self, tmp_path):
+        export_all(tmp_path, tables=(5,), figures=(1,))
+        index = (tmp_path / "INDEX.md").read_text()
+        assert "Table 5" in index
+        assert "Figure 1" in index
+
+    def test_idempotent_overwrite(self, tmp_path):
+        a = export_all(tmp_path, tables=(5,), figures=())
+        b = export_all(tmp_path, tables=(5,), figures=())
+        assert (tmp_path / "table5.csv").exists()
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_unknown_table_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_all(tmp_path, tables=(9,), figures=())

@@ -1,0 +1,31 @@
+"""Integrity of the transcribed paper numbers."""
+
+from repro.harness import paper
+
+
+def test_table1_full_coverage():
+    assert set(paper.TABLE1) == set(paper.KERNELS) | set(paper.PSEUDO_APPS)
+
+
+def test_table2_d1_ft_is_dnr():
+    assert paper.TABLE2["ft"]["allwinner-d1"] is None
+
+
+def test_table3_and_4_consistent_kernels():
+    assert set(paper.TABLE3) == set(paper.TABLE4) == set(paper.KERNELS)
+
+
+def test_table4_headline_ratios():
+    assert paper.TABLE4["is"][0] / paper.TABLE4["is"][1] > 4.9
+    assert paper.TABLE4["ep"][0] / paper.TABLE4["ep"][1] < 1.6
+
+
+def test_table6_structure():
+    for app in paper.PSEUDO_APPS:
+        assert set(paper.TABLE6[app]) == {16, 26, 32, 64}
+        assert paper.TABLE6[app][64]["thunderx2"] is None  # only 32 cores
+
+
+def test_table7_cg_anomaly_recorded():
+    old, vec, novec = paper.TABLE7["cg"]
+    assert vec < old < novec

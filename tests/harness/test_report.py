@@ -1,0 +1,45 @@
+"""Table/CSV rendering."""
+
+import pytest
+
+from repro.harness.report import format_value, render_csv, render_table
+
+
+class TestFormatValue:
+    def test_dnr_for_none(self):
+        assert format_value(None) == "DNR"
+
+    def test_float_trimming(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(32457.83) == "32,458"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+
+
+class TestRenderTable:
+    def test_contains_title_headers_rows(self):
+        out = render_table("T", ["a", "b"], [[1, 2.5], [3, None]])
+        assert "== T ==" in out
+        assert "a" in out and "b" in out
+        assert "DNR" in out
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [[1, 2]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("T", [], [])
+
+
+class TestRenderCsv:
+    def test_round_trip_shape(self):
+        csv = render_csv(["x", "y"], [[1, 2.0], [3, None]])
+        lines = csv.strip().split("\n")
+        assert lines[0] == "x,y"
+        assert lines[2] == "3,DNR"
+
+    def test_commas_rejected(self):
+        with pytest.raises(ValueError):
+            render_csv(["a"], [["1,2"]])

@@ -1,0 +1,62 @@
+"""Every table regenerator builds and carries the right structure."""
+
+import pytest
+
+from repro.harness.tables import TABLE_BUILDERS, build_table
+
+
+class TestAllTables:
+    @pytest.mark.parametrize("number", sorted(TABLE_BUILDERS))
+    def test_builds_and_renders(self, number):
+        if number == 1:
+            result = TABLE_BUILDERS[1](n_accesses=20_000)
+        else:
+            result = build_table(number)
+        assert result.number == number
+        assert result.rows
+        text = result.render()
+        assert f"Table {number}" in text
+        csv = result.to_csv()
+        assert csv.count("\n") == len(result.rows) + 1
+
+    def test_unknown_number(self):
+        with pytest.raises(KeyError):
+            build_table(9)
+
+
+class TestSpecificShapes:
+    def test_table2_has_dnr_for_d1_ft(self):
+        t = build_table(2)
+        ft_row = next(r for r in t.rows if r[0] == "FT")
+        assert None in ft_row  # the AllWinner D1 cell
+
+    def test_table3_five_kernels(self):
+        t = build_table(3)
+        assert [r[0] for r in t.rows] == ["IS", "MG", "EP", "CG", "FT"]
+
+    def test_table4_carries_paper_ratio_column(self):
+        t = build_table(4)
+        is_row = next(r for r in t.rows if r[0] == "IS")
+        assert is_row[-1] == pytest.approx(4.91, abs=0.01)
+
+    def test_table5_lists_the_five_hpc_cpus(self):
+        t = build_table(5)
+        assert len(t.rows) == 5
+        labels = [r[0] for r in t.rows]
+        assert "Sophon SG2044" in labels
+
+    def test_table6_rows_per_app_and_core_count(self):
+        t = build_table(6)
+        assert len(t.rows) == 3 * 4  # {BT,LU,SP} x {16,26,32,64}
+
+    def test_table6_blank_beyond_core_counts(self):
+        t = build_table(6)
+        row64 = next(r for r in t.rows if r[0] == "BT" and r[1] == 64)
+        # Skylake (26 cores) and TX2 (32) cannot run 64 threads.
+        assert row64[6] is None or row64[8] is None
+
+    def test_table7_cg_vec_collapse_visible(self):
+        t = build_table(7)
+        cg = next(r for r in t.rows if r[0] == "CG")
+        gcc15_vec, gcc15_novec = cg[3], cg[5]
+        assert gcc15_vec < 0.6 * gcc15_novec

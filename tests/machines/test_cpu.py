@@ -1,0 +1,110 @@
+"""Core / cache / vector-unit descriptors."""
+
+import pytest
+
+from repro.machines.cpu import (
+    ISA,
+    CacheLevel,
+    CacheSharing,
+    CoreModel,
+    VectorStandard,
+    VectorUnit,
+)
+
+
+class TestVectorStandard:
+    def test_rvv_071_has_no_mainline_support(self):
+        assert not VectorStandard.RVV_0_7_1.mainline_compiler_support
+
+    def test_rvv_10_has_mainline_support(self):
+        assert VectorStandard.RVV_1_0.mainline_compiler_support
+
+    @pytest.mark.parametrize(
+        "std", [VectorStandard.AVX2, VectorStandard.AVX512, VectorStandard.NEON]
+    )
+    def test_x86_arm_simd_mainline(self, std):
+        assert std.mainline_compiler_support
+
+
+class TestVectorUnit:
+    def test_doubles_per_cycle_128bit(self):
+        assert VectorUnit(VectorStandard.RVV_1_0, 128).doubles_per_cycle == 2.0
+
+    def test_doubles_per_cycle_avx512_dual_issue(self):
+        unit = VectorUnit(VectorStandard.AVX512, 512, 2)
+        assert unit.doubles_per_cycle == 16.0
+
+    def test_scalar_speedup_by_element_width(self):
+        unit = VectorUnit(VectorStandard.AVX2, 256, 1)
+        assert unit.speedup_over_scalar(64) == 4.0
+        assert unit.speedup_over_scalar(32) == 8.0
+
+    def test_no_vector_unit(self):
+        unit = VectorUnit(VectorStandard.NONE, 0)
+        assert unit.doubles_per_cycle == 0.0
+        assert unit.speedup_over_scalar() == 1.0
+
+    def test_none_with_width_rejected(self):
+        with pytest.raises(ValueError):
+            VectorUnit(VectorStandard.NONE, 128)
+
+    def test_weird_width_rejected(self):
+        with pytest.raises(ValueError):
+            VectorUnit(VectorStandard.RVV_1_0, 96)
+
+
+class TestCacheLevel:
+    def test_set_count(self):
+        c = CacheLevel(1, 32 * 1024, CacheSharing.PRIVATE, 4, associativity=8)
+        assert c.n_sets == 64
+
+    def test_capacity_per_core(self):
+        c = CacheLevel(2, 2 * 2**20, CacheSharing.CLUSTER, 24)
+        assert c.capacity_per_core(4) == pytest.approx(512 * 1024)
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevel(1, 1000, CacheSharing.PRIVATE, 4)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevel(4, 2**20, CacheSharing.CHIP, 10)
+
+    def test_skylake_11_way_llc_is_valid(self):
+        # 35.75 MB, 11-way: the odd geometry from the paper's platform.
+        c = CacheLevel(3, 35 * 2**20 + 768 * 2**10, CacheSharing.CHIP, 60, associativity=11)
+        assert c.n_sets == 53248
+
+
+class TestCoreModel:
+    def _core(self, **kw):
+        defaults = dict(
+            name="test",
+            isa=ISA.RV64GCV,
+            decode_width=3,
+            issue_width=8,
+            load_store_units=2,
+            fpu_count=2,
+            vector=VectorUnit(VectorStandard.RVV_1_0, 128),
+            sustained_ipc=1.4,
+        )
+        defaults.update(kw)
+        return CoreModel(**defaults)
+
+    def test_has_vector(self):
+        assert self._core().has_vector
+        assert not self._core(vector=VectorUnit(VectorStandard.NONE, 0)).has_vector
+
+    def test_ipc_cannot_exceed_issue_width(self):
+        with pytest.raises(ValueError):
+            self._core(sustained_ipc=9.0)
+
+    def test_scalar_flops_positive(self):
+        assert self._core().scalar_flops_per_cycle() > 0
+
+    def test_peak_vector_flops(self):
+        assert self._core().peak_vector_flops_per_cycle() == 2.0
+
+    def test_riscv_isa_flag(self):
+        assert ISA.RV64GCV.is_riscv
+        assert not ISA.X86_64.is_riscv

@@ -1,0 +1,57 @@
+"""DDR generation math: bandwidth, latency, names, validation."""
+
+import pytest
+
+from repro.machines.ddr import DDRGeneration, DDRSpec, ddr4, ddr5, lpddr4
+
+
+class TestDDRSpec:
+    def test_marketing_name(self):
+        assert ddr4(3200).name == "DDR4-3200"
+        assert ddr5(4266).name == "DDR5-4266"
+        assert lpddr4(2800).name == "LPDDR4-2800"
+
+    def test_ddr4_channel_peak_bandwidth(self):
+        # 64-bit bus at 3200 MT/s = 25.6 GB/s.
+        assert ddr4(3200).channel_peak_bw_gbs == pytest.approx(25.6)
+
+    def test_ddr5_subchannel_peak_bandwidth(self):
+        # DDR5 channels are modelled as 32-bit sub-channels.
+        assert ddr5(4266).channel_peak_bw_gbs == pytest.approx(17.064)
+
+    def test_sustained_below_peak(self):
+        for spec in (ddr4(3200), ddr5(4266), lpddr4(2666)):
+            assert spec.channel_sustained_bw_gbs < spec.channel_peak_bw_gbs
+
+    def test_ddr5_more_efficient_than_lpddr4(self):
+        assert (
+            DDRGeneration.DDR5.typical_efficiency
+            > DDRGeneration.LPDDR4.typical_efficiency
+        )
+
+    def test_default_cas_latency_filled_in(self):
+        assert ddr4(3200).cas_latency_ns == pytest.approx(13.75)
+        assert ddr5(4266).cas_latency_ns == pytest.approx(16.0)
+
+    def test_explicit_cas_latency_respected(self):
+        assert ddr4(3200, cas_latency_ns=16.0).cas_latency_ns == 16.0
+
+    def test_random_latency_exceeds_cas(self):
+        spec = ddr4(3200)
+        assert spec.random_access_latency_ns > spec.cas_latency_ns
+
+    def test_random_throughput_positive_and_finite(self):
+        rate = ddr5(4266).random_requests_per_second()
+        assert 1e6 < rate < 1e9
+
+    def test_faster_transfer_means_more_bandwidth(self):
+        assert ddr4(3200).channel_peak_bw_gbs > ddr4(2666).channel_peak_bw_gbs
+
+    @pytest.mark.parametrize("mts", [0, -100])
+    def test_rejects_nonpositive_rate(self, mts):
+        with pytest.raises(ValueError):
+            ddr4(mts)
+
+    def test_rejects_negative_cas(self):
+        with pytest.raises(ValueError):
+            DDRSpec(DDRGeneration.DDR4, 3200, cas_latency_ns=-1.0)

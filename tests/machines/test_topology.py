@@ -1,0 +1,59 @@
+"""Topology: cluster/NUMA coordinates and placements."""
+
+import pytest
+
+from repro.machines.topology import Topology
+
+
+class TestTopology:
+    def test_sophon_layout(self):
+        t = Topology(total_cores=64, cores_per_cluster=4)
+        assert t.n_clusters == 16
+        assert t.location(0).cluster_id == 0
+        assert t.location(5).cluster_id == 1
+        assert t.location(63).cluster_id == 15
+
+    def test_numa_assignment(self):
+        t = Topology(total_cores=64, cores_per_cluster=4, numa_regions=4)
+        assert t.cores_per_numa == 16
+        assert t.location(0).numa_id == 0
+        assert t.location(17).numa_id == 1
+        assert t.location(63).numa_id == 3
+
+    def test_iter_cores_covers_everything(self):
+        t = Topology(total_cores=8, cores_per_cluster=4)
+        assert [c.core_id for c in t.iter_cores()] == list(range(8))
+
+    def test_compact_placement(self):
+        t = Topology(total_cores=16, cores_per_cluster=4)
+        assert t.compact_placement(6) == [0, 1, 2, 3, 4, 5]
+
+    def test_spread_placement_covers_clusters_first(self):
+        t = Topology(total_cores=16, cores_per_cluster=4)
+        placement = t.spread_placement(4)
+        assert sorted(t.location(c).cluster_id for c in placement) == [0, 1, 2, 3]
+
+    def test_spread_minimises_cluster_occupancy(self):
+        t = Topology(total_cores=64, cores_per_cluster=4)
+        assert t.max_cluster_occupancy(t.spread_placement(16)) == 1
+        assert t.max_cluster_occupancy(t.compact_placement(16)) == 4
+
+    def test_numa_spread_counts(self):
+        t = Topology(total_cores=8, cores_per_cluster=2, numa_regions=2)
+        assert t.numa_spread([0, 1, 4, 5]) == [2, 2]
+
+    def test_cluster_straddling_numa_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(total_cores=12, cores_per_cluster=4, numa_regions=2)
+
+    def test_indivisible_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(total_cores=10, cores_per_cluster=4)
+
+    def test_out_of_range_core_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(total_cores=4).location(4)
+
+    def test_bad_thread_count_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(total_cores=4).compact_placement(5)

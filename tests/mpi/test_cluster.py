@@ -1,0 +1,46 @@
+"""Multi-socket cluster projection."""
+
+import pytest
+
+from repro.mpi.cluster import cluster_sweep, predict_cluster
+from repro.mpi.netmodel import ETHERNET_100G, PCIE5_FABRIC
+
+
+class TestProjection:
+    def test_single_socket_matches_model(self):
+        p = predict_cluster("sg2044", "ep", 1)
+        assert p.mops == pytest.approx(p.single_socket.mops, rel=1e-9)
+        assert p.comm_time_s == 0.0
+
+    def test_ep_scales_almost_perfectly(self):
+        sweep = cluster_sweep("sg2044", "ep", (1, 2, 4, 8))
+        assert sweep[-1].scaling_efficiency > 0.99
+
+    def test_ft_pays_for_transposes(self):
+        sweep = cluster_sweep("sg2044", "ft", (1, 8))
+        assert 0.5 < sweep[-1].scaling_efficiency < 1.0
+        assert sweep[-1].comm_fraction > 0.02
+
+    def test_efficiency_never_exceeds_one(self):
+        for kernel in ("is", "mg", "ep", "cg", "ft"):
+            for pred in cluster_sweep("sg2044", kernel, (2, 4)):
+                assert pred.scaling_efficiency <= 1.0 + 1e-9
+
+    def test_slower_fabric_hurts_ft_more_than_ep(self):
+        ft_fast = predict_cluster("sg2044", "ft", 8, link=PCIE5_FABRIC)
+        ft_slow = predict_cluster("sg2044", "ft", 8, link=ETHERNET_100G)
+        ep_fast = predict_cluster("sg2044", "ep", 8, link=PCIE5_FABRIC)
+        ep_slow = predict_cluster("sg2044", "ep", 8, link=ETHERNET_100G)
+        ft_loss = ft_fast.mops / ft_slow.mops
+        ep_loss = ep_fast.mops / ep_slow.mops
+        assert ft_loss > ep_loss
+
+    def test_sg2044_cluster_vs_epyc_cluster(self):
+        # The whole-chip relationships survive scale-out.
+        sg = predict_cluster("sg2044", "mg", 4)
+        epyc = predict_cluster("epyc7742", "mg", 4)
+        assert 0.4 < sg.mops / epyc.mops < 1.2
+
+    def test_bad_socket_count(self):
+        with pytest.raises(ValueError):
+            predict_cluster("sg2044", "ep", 0)

@@ -1,0 +1,49 @@
+"""Alpha-beta link model and collective costs."""
+
+import pytest
+
+from repro.mpi.netmodel import ETHERNET_100G, INFINIBAND_HDR, PCIE5_FABRIC, LinkModel
+
+
+class TestPointToPoint:
+    def test_latency_floor(self):
+        assert INFINIBAND_HDR.ptp_time(0) == INFINIBAND_HDR.alpha_s
+
+    def test_bandwidth_term(self):
+        t = INFINIBAND_HDR.ptp_time(23_000_000_000)
+        assert t == pytest.approx(1.0 + INFINIBAND_HDR.alpha_s)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            INFINIBAND_HDR.ptp_time(-1)
+
+
+class TestCollectives:
+    def test_single_rank_is_free(self):
+        for fn in ("allreduce_time", "bcast_time", "allgather_time", "alltoall_time"):
+            assert getattr(INFINIBAND_HDR, fn)(1024, 1) == 0.0
+
+    def test_allreduce_log_rounds(self):
+        t2 = INFINIBAND_HDR.allreduce_time(1024, 2)
+        t8 = INFINIBAND_HDR.allreduce_time(1024, 8)
+        assert t8 == pytest.approx(3 * t2)
+
+    def test_alltoall_linear_in_ranks(self):
+        t2 = INFINIBAND_HDR.alltoall_time(1024, 2)
+        t5 = INFINIBAND_HDR.alltoall_time(1024, 5)
+        assert t5 == pytest.approx(4 * t2)
+
+    def test_halo_counts_neighbours(self):
+        assert INFINIBAND_HDR.halo_time(4096, 6) == pytest.approx(
+            3 * INFINIBAND_HDR.halo_time(4096, 2)
+        )
+
+    def test_faster_fabrics_cost_less(self):
+        msg = 1 << 20
+        assert PCIE5_FABRIC.ptp_time(msg) < INFINIBAND_HDR.ptp_time(msg) < ETHERNET_100G.ptp_time(msg)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel("bad", alpha_s=-1.0, beta_bps=1e9)
+        with pytest.raises(ValueError):
+            INFINIBAND_HDR.allreduce_time(8, 0)

@@ -1,0 +1,64 @@
+"""Distributed NPB kernels vs their sequential counterparts."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.netmodel import INFINIBAND_HDR
+from repro.mpi.npb_dist import distributed_dot, distributed_ep, distributed_fft3d
+from repro.mpi.simcomm import SimComm
+from repro.npb.ep import ep_kernel
+
+
+class TestDistributedEP:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 7])
+    def test_bit_exact_vs_sequential(self, ranks):
+        comm = SimComm(ranks, INFINIBAND_HDR)
+        sx, sy, counts = distributed_ep(comm, 2**16)
+        ref_sx, ref_sy, ref_counts = ep_kernel(2**16)
+        assert sx == pytest.approx(ref_sx, rel=1e-12)
+        assert sy == pytest.approx(ref_sy, rel=1e-12)
+        assert np.array_equal(counts, ref_counts)
+
+    def test_one_allreduce_total(self):
+        comm = SimComm(4, INFINIBAND_HDR)
+        distributed_ep(comm, 2**14)
+        assert comm.counters["allreduce"] == 1
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            distributed_ep(SimComm(8, INFINIBAND_HDR), 4)
+
+
+class TestDistributedFFT:
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_matches_numpy_fftn(self, ranks):
+        rng = np.random.default_rng(17)
+        field = rng.normal(size=(8, 8, 8)) + 1j * rng.normal(size=(8, 8, 8))
+        comm = SimComm(ranks, INFINIBAND_HDR)
+        out = distributed_fft3d(comm, field)
+        assert np.allclose(out, np.fft.fftn(field), atol=1e-10)
+
+    def test_uses_one_alltoall(self):
+        comm = SimComm(4, INFINIBAND_HDR)
+        distributed_fft3d(comm, np.zeros((8, 8, 8), dtype=complex))
+        assert comm.counters["alltoall"] == 1
+
+    def test_indivisible_grid_rejected(self):
+        with pytest.raises(ValueError):
+            distributed_fft3d(SimComm(3, INFINIBAND_HDR), np.zeros((8, 8, 8)))
+
+
+class TestDistributedDot:
+    def test_matches_sequential_dot(self):
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=120)
+        y = rng.normal(size=120)
+        comm = SimComm(4, INFINIBAND_HDR)
+        got = distributed_dot(
+            comm, list(np.split(x, 4)), list(np.split(y, 4))
+        )
+        assert got == pytest.approx(float(x @ y))
+
+    def test_block_count_checked(self):
+        with pytest.raises(ValueError):
+            distributed_dot(SimComm(4, INFINIBAND_HDR), [np.zeros(2)] * 3, [np.zeros(2)] * 3)

@@ -1,0 +1,86 @@
+"""The functional simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.netmodel import INFINIBAND_HDR
+from repro.mpi.simcomm import SimComm
+
+
+@pytest.fixture
+def comm():
+    return SimComm(4, INFINIBAND_HDR)
+
+
+class TestAllreduce:
+    def test_sum(self, comm):
+        data = [np.full(3, float(r)) for r in range(4)]
+        out = comm.allreduce(data)
+        for buf in out:
+            assert np.allclose(buf, 0 + 1 + 2 + 3)
+
+    def test_max_and_min(self, comm):
+        data = [np.array([float(r)]) for r in range(4)]
+        assert comm.allreduce(data, "max")[0][0] == 3.0
+        assert comm.allreduce(data, "min")[0][0] == 0.0
+
+    def test_clock_advances_uniformly(self, comm):
+        comm.allreduce([np.zeros(10)] * 4)
+        assert np.all(comm.clock == comm.clock[0])
+        assert comm.clock[0] > 0
+
+    def test_unknown_op_rejected(self, comm):
+        with pytest.raises(ValueError):
+            comm.allreduce([np.zeros(1)] * 4, "xor")
+
+
+class TestAlltoall:
+    def test_block_transpose_semantics(self, comm):
+        # Rank r sends block j to rank j; rank j receives [block_j of r=0..3].
+        data = [np.arange(8) + 100 * r for r in range(4)]
+        out = comm.alltoall(data)
+        assert np.array_equal(out[0], np.array([0, 1, 100, 101, 200, 201, 300, 301]))
+        assert np.array_equal(out[3], np.array([6, 7, 106, 107, 206, 207, 306, 307]))
+
+    def test_round_trip_identity(self, comm):
+        rng = np.random.default_rng(3)
+        data = [rng.normal(size=(8, 5)) for _ in range(4)]
+        back = comm.alltoall(comm.alltoall(data))
+        for a, b in zip(data, back):
+            assert np.allclose(a, b)
+
+    def test_indivisible_rejected(self, comm):
+        with pytest.raises(ValueError):
+            comm.alltoall([np.zeros(7)] * 4)
+
+
+class TestOtherCollectives:
+    def test_bcast(self, comm):
+        data = [np.arange(4.0), None, None, None]
+        out = comm.bcast(data, root=0)
+        for buf in out:
+            assert np.array_equal(buf, np.arange(4.0))
+
+    def test_allgather(self, comm):
+        data = [np.array([float(r)]) for r in range(4)]
+        out = comm.allgather(data)
+        assert np.array_equal(out[2], np.array([0.0, 1.0, 2.0, 3.0]))
+
+    def test_sendrecv_permutation(self, comm):
+        data = [np.array([r]) for r in range(4)]
+        out = comm.sendrecv(data, lambda r: (r + 1) % 4)
+        assert [int(b[0]) for b in out] == [3, 0, 1, 2]
+
+    def test_sendrecv_requires_permutation(self, comm):
+        with pytest.raises(ValueError):
+            comm.sendrecv([np.zeros(1)] * 4, lambda r: 0)
+
+    def test_counters(self, comm):
+        comm.allreduce([np.zeros(1)] * 4)
+        comm.alltoall([np.zeros(4)] * 4)
+        assert comm.counters["allreduce"] == 1
+        assert comm.counters["alltoall"] == 1
+
+    def test_rank_count_checked(self, comm):
+        with pytest.raises(ValueError):
+            comm.allreduce([np.zeros(1)] * 3)

@@ -1,0 +1,84 @@
+"""BT: batched block-tridiagonal solver and ADI convergence."""
+
+import numpy as np
+import pytest
+
+from repro.npb.bt import block_tridiag_solve, bt_step, line_blocks, run_bt
+from repro.npb.pseudo import NCOMP, ModelProblem
+
+
+def dense_from_blocks(a, b, c):
+    """Assemble the full block-tridiagonal matrix for verification."""
+    n, k, _ = b.shape
+    m = np.zeros((n * k, n * k))
+    for i in range(n):
+        m[i * k : (i + 1) * k, i * k : (i + 1) * k] = b[i]
+        if i > 0:
+            m[i * k : (i + 1) * k, (i - 1) * k : i * k] = a[i]
+        if i < n - 1:
+            m[i * k : (i + 1) * k, (i + 1) * k : (i + 2) * k] = c[i]
+    return m
+
+
+class TestBlockTridiagSolve:
+    def test_matches_dense_solve(self):
+        rng = np.random.default_rng(7)
+        n, k, batch = 6, 5, 3
+        a = rng.normal(size=(n, k, k)) * 0.1
+        c = rng.normal(size=(n, k, k)) * 0.1
+        b = rng.normal(size=(n, k, k)) * 0.1 + 3.0 * np.eye(k)
+        a[0] = 0.0
+        c[-1] = 0.0
+        d = rng.normal(size=(n, batch, k))
+        x = block_tridiag_solve(a, b, c, d)
+        dense = dense_from_blocks(a, b, c)
+        for j in range(batch):
+            expect = np.linalg.solve(dense, d[:, j, :].reshape(-1))
+            assert np.allclose(x[:, j, :].reshape(-1), expect, atol=1e-10)
+
+    def test_identity_system(self):
+        n, k = 4, 5
+        a = np.zeros((n, k, k))
+        c = np.zeros((n, k, k))
+        b = np.broadcast_to(np.eye(k), (n, k, k)).copy()
+        d = np.random.default_rng(8).normal(size=(n, 2, k))
+        assert np.allclose(block_tridiag_solve(a, b, c, d), d)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            block_tridiag_solve(
+                np.zeros((4, 5, 5)),
+                np.zeros((3, 5, 5)),
+                np.zeros((4, 5, 5)),
+                np.zeros((4, 1, 5)),
+            )
+
+
+class TestLineBlocks:
+    def test_boundary_closure(self):
+        a, b, c = line_blocks(8, 0.125, 0.05, 0, np.eye(NCOMP))
+        assert np.all(a[0] == 0.0)
+        assert np.all(c[-1] == 0.0)
+
+    def test_diagonal_dominance(self):
+        # The implicit factor must be comfortably invertible.
+        a, b, c = line_blocks(8, 0.125, 0.05, 1, np.eye(NCOMP))
+        diag_mag = np.abs(np.diagonal(b[4]))
+        off = np.abs(a[4]).sum() + np.abs(c[4]).sum()
+        assert diag_mag.min() > 0.5
+
+
+class TestBTConvergence:
+    def test_step_reduces_error(self):
+        prob = ModelProblem(8)
+        u = np.zeros((NCOMP, 8, 8, 8))
+        dt = 0.5 * prob.h
+        e0 = prob.error_norm(u)
+        for _ in range(10):
+            u = u + bt_step(prob, u, prob.residual(u), dt)
+        assert prob.error_norm(u) < 0.6 * e0
+
+    def test_class_s_verifies(self):
+        result = run_bt("S")
+        assert result.verified
+        assert result.details["final_error"] < 0.2 * result.details["initial_error"]

@@ -1,0 +1,77 @@
+"""CG: makea fidelity (official zeta!), CG iteration, power method."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.npb.cg import conj_grad, make_matrix, power_method, run_cg
+from repro.npb.common import NPBClass
+from repro.npb.params import cg_params
+
+
+@pytest.fixture(scope="module")
+def matrix_s():
+    return make_matrix(cg_params(NPBClass.S))[0]
+
+
+class TestMakea:
+    def test_shape_and_nnz(self, matrix_s):
+        assert matrix_s.shape == (1400, 1400)
+        # ~ n (nonzer+1)^2 * dedup factor.
+        assert 40_000 < matrix_s.nnz < 120_000
+
+    def test_symmetric(self, matrix_s):
+        diff = (matrix_s - matrix_s.T).tocoo()
+        assert np.abs(diff.data).max() < 1e-12 if diff.nnz else True
+
+    def test_diagonal_dominant_negative_shift(self, matrix_s):
+        # a(i,i) gets rcond - shift = 0.1 - 10 added: strongly negative
+        # diagonal, which is what makes A - shift*I SPD-like for the
+        # inverse power method.
+        diag = matrix_s.diagonal()
+        assert np.all(diag < 0)
+
+    def test_deterministic(self):
+        a1, _ = make_matrix(cg_params(NPBClass.S))
+        a2, _ = make_matrix(cg_params(NPBClass.S))
+        assert (a1 != a2).nnz == 0
+
+
+class TestConjGrad:
+    def test_solves_spd_system(self):
+        rng = np.random.default_rng(5)
+        m = rng.normal(size=(50, 50))
+        a = sp.csr_matrix(m @ m.T + 50 * np.eye(50))
+        x = rng.normal(size=50)
+        z, rnorm = conj_grad(a, x, inner_iterations=50)
+        assert np.allclose(a @ z, x, atol=1e-6)
+        assert rnorm < 1e-6
+
+    def test_residual_norm_definition(self, matrix_s):
+        x = np.ones(1400)
+        z, rnorm = conj_grad(matrix_s, x, inner_iterations=5)
+        assert rnorm == pytest.approx(np.linalg.norm(x - matrix_s @ z))
+
+
+class TestPowerMethod:
+    def test_diagonal_matrix_known_eigenvalue(self):
+        # For A = diag(d), the power iteration converges to the dominant
+        # |1/d|; zeta = shift + 1/(x.z) with z = A^-1 x.
+        d = np.array([-2.0, -4.0, -8.0])
+        a = sp.csr_matrix(np.diag(d))
+        zeta, _ = power_method(a, shift=10.0, niter=50, inner_iterations=30)
+        # x converges to the eigenvector of min |d| (=-2): zeta -> 10 - 2.
+        assert zeta == pytest.approx(8.0, abs=1e-6)
+
+
+class TestRunCG:
+    def test_class_s_matches_official_zeta(self):
+        result = run_cg("S")
+        assert result.verified
+        assert result.details["zeta"] == pytest.approx(8.5971775078648, abs=1e-10)
+
+    @pytest.mark.slow
+    def test_class_w_matches_official_zeta(self):
+        result = run_cg("W")
+        assert result.verified
+        assert result.details["zeta"] == pytest.approx(10.362595087124, abs=1e-10)

@@ -1,0 +1,112 @@
+"""randlc generator: exactness, jump-ahead, vectorised equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.npb.common import (
+    DEFAULT_MULTIPLIER,
+    NPBClass,
+    Randlc,
+    Timer,
+    randlc_jump_multiplier,
+)
+
+MASK = (1 << 46) - 1
+
+
+def scalar_reference(seed: int, n: int) -> list[float]:
+    """Independent straight-line reference implementation."""
+    x = seed
+    out = []
+    for _ in range(n):
+        x = (DEFAULT_MULTIPLIER * x) & MASK
+        out.append(x / float(1 << 46))
+    return out
+
+
+class TestRandlc:
+    def test_scalar_next_matches_reference(self):
+        rng = Randlc()
+        assert [rng.next() for _ in range(100)] == scalar_reference(314159265, 100)
+
+    def test_vectorised_generate_matches_reference(self):
+        rng = Randlc()
+        got = rng.generate(10_000, block=64)
+        assert np.allclose(got, scalar_reference(314159265, 10_000), rtol=0, atol=0)
+
+    def test_generate_then_next_continues_stream(self):
+        a = Randlc()
+        b = Randlc()
+        a.generate(777)
+        ref = scalar_reference(314159265, 778)
+        assert a.next() == ref[777]
+        del b
+
+    def test_block_size_does_not_change_output(self):
+        outs = [Randlc().generate(5000, block=b) for b in (1, 7, 512, 4096, 8192)]
+        for other in outs[1:]:
+            assert np.array_equal(outs[0], other)
+
+    def test_skip_equals_discard(self):
+        a = Randlc()
+        b = Randlc()
+        a.skip(12345)
+        b.generate(12345)
+        assert a.state == b.state
+
+    def test_values_in_open_unit_interval(self):
+        u = Randlc().generate(100_000)
+        assert np.all(u > 0.0)
+        assert np.all(u < 1.0)
+
+    def test_roughly_uniform(self):
+        u = Randlc().generate(200_000)
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1.0 / 12.0) < 0.005
+
+    def test_zero_count(self):
+        assert Randlc().generate(0).shape == (0,)
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Randlc(seed=0)
+        with pytest.raises(ValueError):
+            Randlc(seed=1 << 46)
+
+
+class TestJumpMultiplier:
+    def test_identity(self):
+        assert randlc_jump_multiplier(DEFAULT_MULTIPLIER, 0) == 1
+
+    def test_one_step(self):
+        assert randlc_jump_multiplier(DEFAULT_MULTIPLIER, 1) == DEFAULT_MULTIPLIER & MASK
+
+    @given(i=st.integers(0, 10_000), j=st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_composition(self, i, j):
+        a = DEFAULT_MULTIPLIER
+        combined = randlc_jump_multiplier(a, i + j)
+        split = (
+            randlc_jump_multiplier(a, i) * randlc_jump_multiplier(a, j)
+        ) & MASK
+        assert combined == split
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            randlc_jump_multiplier(DEFAULT_MULTIPLIER, -1)
+
+
+class TestNPBClass:
+    def test_ordering(self):
+        assert NPBClass.S < NPBClass.W < NPBClass.A < NPBClass.B < NPBClass.C
+
+    def test_rank(self):
+        assert NPBClass.C.rank == 4
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0

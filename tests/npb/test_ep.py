@@ -1,0 +1,52 @@
+"""EP: official verification values and statistical invariants."""
+
+import numpy as np
+import pytest
+
+from repro.npb.ep import N_ANNULI, ep_kernel, run_ep
+
+
+class TestEPKernel:
+    def test_class_s_matches_official_npb_constants(self):
+        # The strongest validation in the suite: bit-faithful randlc +
+        # polar method reproduce NPB's published class S sums.
+        sx, sy, _ = ep_kernel(2**24)
+        assert sx == pytest.approx(-3.247834652034740e3, rel=1e-10)
+        assert sy == pytest.approx(-6.958407078382297e3, rel=1e-10)
+
+    def test_batch_size_does_not_change_result(self):
+        a = ep_kernel(2**18, batch=2**18)
+        b = ep_kernel(2**18, batch=1009)
+        assert a[0] == pytest.approx(b[0], rel=1e-12)
+        assert a[1] == pytest.approx(b[1], rel=1e-12)
+        assert np.array_equal(a[2], b[2])
+
+    def test_acceptance_rate_is_pi_over_four(self):
+        _, _, counts = ep_kernel(2**20)
+        assert counts.sum() / 2**20 == pytest.approx(np.pi / 4, abs=0.002)
+
+    def test_annulus_counts_decrease(self):
+        _, _, counts = ep_kernel(2**20)
+        nonzero = counts[counts > 0]
+        assert np.all(np.diff(nonzero) <= 0)
+
+    def test_counts_shape(self):
+        _, _, counts = ep_kernel(1000)
+        assert counts.shape == (N_ANNULI,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ep_kernel(0)
+
+
+class TestRunEP:
+    def test_class_s_verifies(self):
+        result = run_ep("S")
+        assert result.verified
+        assert result.name == "ep"
+        assert result.details["acceptance_rate"] == pytest.approx(np.pi / 4, abs=0.01)
+
+    def test_mops_accounting(self):
+        result = run_ep("S")
+        assert result.total_mops == pytest.approx(2**25 / 1e6)
+        assert result.mops_per_s > 0

@@ -1,0 +1,69 @@
+"""FT: spectral PDE evolution, round-trip, checksum behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.npb.common import NPBClass
+from repro.npb.ft import evolution_factors, ft_iterations, initial_field, run_ft
+from repro.npb.params import ft_params
+
+
+class TestEvolutionFactors:
+    def test_dc_mode_untouched(self):
+        p = ft_params(NPBClass.S)
+        f = evolution_factors(p, t=5.0)
+        assert f[0, 0, 0] == pytest.approx(1.0)
+
+    def test_decays_with_wavenumber(self):
+        p = ft_params(NPBClass.S)
+        f = evolution_factors(p, t=1.0)
+        assert f[1, 0, 0] < f[0, 0, 0]
+        assert f[2, 0, 0] < f[1, 0, 0]
+
+    def test_aliased_wavenumbers_symmetric(self):
+        p = ft_params(NPBClass.S)
+        f = evolution_factors(p, t=1.0)
+        # k and -k (== n-k) decay identically.
+        assert f[1, 0, 0] == pytest.approx(f[-1, 0, 0])
+
+    def test_all_in_unit_interval(self):
+        p = ft_params(NPBClass.S)
+        f = evolution_factors(p, t=3.0)
+        assert np.all(f > 0.0)
+        assert np.all(f <= 1.0)
+
+
+class TestInitialField:
+    def test_deterministic_complex_field(self):
+        p = ft_params(NPBClass.S)
+        a = initial_field(p)
+        b = initial_field(p)
+        assert a.dtype == np.complex128
+        assert np.array_equal(a, b)
+        assert a.shape == (64, 64, 64)
+
+
+class TestIterations:
+    def test_checksums_deterministic(self):
+        p = ft_params(NPBClass.S)
+        u_hat = np.fft.fftn(initial_field(p))
+        c1 = ft_iterations(p, u_hat)
+        c2 = ft_iterations(p, u_hat)
+        assert c1 == c2
+        assert len(c1) == p.iterations
+
+    def test_energy_decays(self):
+        # Parseval: diffusion strictly shrinks the spectral energy.
+        p = ft_params(NPBClass.S)
+        u_hat = np.fft.fftn(initial_field(p))
+        e0 = np.abs(u_hat) ** 2
+        f = evolution_factors(p, 1.0)
+        e1 = np.abs(u_hat * f) ** 2
+        assert e1.sum() < e0.sum()
+
+
+class TestRunFT:
+    def test_class_s_verifies(self):
+        result = run_ft("S")
+        assert result.verified
+        assert np.isfinite(result.details["checksum1_re"])

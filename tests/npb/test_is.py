@@ -1,0 +1,65 @@
+"""IS: ranking correctness, sort verification, key distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.npb.is_ import generate_keys, rank_keys, run_is
+
+
+class TestKeyGeneration:
+    def test_deterministic(self):
+        assert np.array_equal(generate_keys(1000, 256), generate_keys(1000, 256))
+
+    def test_range(self):
+        keys = generate_keys(10_000, 512)
+        assert keys.min() >= 0
+        assert keys.max() < 512
+
+    def test_gaussian_ish_centre_heavy(self):
+        # Sum of four uniforms: the middle half holds most of the mass.
+        keys = generate_keys(100_000, 1024)
+        middle = np.sum((keys >= 256) & (keys < 768))
+        assert middle / 100_000 > 0.75
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keys(0, 16)
+
+
+class TestRanking:
+    def test_rank_of_minimum_is_zero(self):
+        keys = np.array([5, 3, 9, 3, 1], dtype=np.int32)
+        ranks = rank_keys(keys, 16)
+        assert ranks[4] == 0
+
+    def test_ranks_count_smaller_keys(self):
+        keys = np.array([5, 3, 9, 3, 1], dtype=np.int32)
+        ranks = rank_keys(keys, 16)
+        # key 5 has 3 smaller keys (3, 3, 1).
+        assert ranks[0] == 3
+        # duplicate keys share the first-occurrence rank.
+        assert ranks[1] == ranks[3] == 1
+
+    @given(
+        keys=st.lists(st.integers(0, 63), min_size=1, max_size=200),
+    )
+    @settings(max_examples=50)
+    def test_rank_property_vs_sorting(self, keys):
+        arr = np.asarray(keys, dtype=np.int32)
+        ranks = rank_keys(arr, 64)
+        for value, rank in zip(arr, ranks):
+            assert rank == int(np.sum(arr < value))
+
+
+class TestRunIS:
+    @pytest.mark.parametrize("npb_class", ["S", "W"])
+    def test_verifies(self, npb_class):
+        result = run_is(npb_class)
+        assert result.verified
+        assert result.details["partial_ok"] == 1.0
+        assert result.details["full_ok"] == 1.0
+
+    def test_op_accounting(self):
+        result = run_is("S")
+        assert result.total_mops == pytest.approx(10 * 2**16 / 1e6)

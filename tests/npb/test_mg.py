@@ -1,0 +1,97 @@
+"""MG: stencil operators, grid transfers, V-cycle convergence."""
+
+import numpy as np
+import pytest
+
+from repro.npb.mg import (
+    A_WEIGHTS,
+    build_rhs,
+    interp,
+    mg_solve,
+    psinv,
+    resid,
+    rprj3,
+    run_mg,
+)
+
+
+class TestOperators:
+    def test_resid_of_zero_guess_is_rhs(self):
+        v = np.random.default_rng(1).normal(size=(8, 8, 8))
+        assert np.allclose(resid(np.zeros_like(v), v), v)
+
+    def test_a_weights_annihilate_constants(self):
+        # sum of the 27-point operator weights is 0: A(const) = 0.
+        total = A_WEIGHTS[0] + 6 * A_WEIGHTS[1] + 12 * A_WEIGHTS[2] + 8 * A_WEIGHTS[3]
+        assert total == pytest.approx(0.0)
+        const = np.full((8, 8, 8), 3.7)
+        assert np.allclose(resid(const, np.zeros_like(const)), 0.0, atol=1e-12)
+
+    def test_operator_linearity(self):
+        rng = np.random.default_rng(2)
+        u1, u2 = rng.normal(size=(2, 8, 8, 8))
+        z = np.zeros_like(u1)
+        left = resid(u1 + 2.0 * u2, z)
+        right = resid(u1, z) + 2.0 * resid(u2, z)
+        assert np.allclose(left, right)
+
+    def test_psinv_shape_preserved(self):
+        r = np.random.default_rng(3).normal(size=(8, 8, 8))
+        assert psinv(r).shape == r.shape
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            resid(np.zeros((4, 4, 4)), np.zeros((8, 8, 8)))
+
+
+class TestGridTransfers:
+    def test_restriction_halves_grid(self):
+        assert rprj3(np.ones((16, 16, 16))).shape == (8, 8, 8)
+
+    def test_restriction_of_constant(self):
+        # Full weighting sums to 4: restriction of c gives 4c (the NPB
+        # coarse-grid scaling convention).
+        out = rprj3(np.full((8, 8, 8), 1.0))
+        assert np.allclose(out, 4.0)
+
+    def test_interp_doubles_grid(self):
+        assert interp(np.ones((4, 4, 4))).shape == (8, 8, 8)
+
+    def test_interp_preserves_constants(self):
+        assert np.allclose(interp(np.full((4, 4, 4), 2.5)), 2.5)
+
+    def test_interp_exact_at_coarse_points(self):
+        z = np.random.default_rng(4).normal(size=(4, 4, 4))
+        fine = interp(z)
+        assert np.allclose(fine[0::2, 0::2, 0::2], z)
+
+    def test_odd_grid_rejected(self):
+        with pytest.raises(ValueError):
+            rprj3(np.ones((7, 7, 7)))
+
+
+class TestRHS:
+    def test_twenty_charges(self):
+        v = build_rhs(16)
+        assert np.sum(v == 1.0) == 10
+        assert np.sum(v == -1.0) == 10
+        assert np.sum(v != 0.0) == 20
+
+    def test_deterministic(self):
+        assert np.array_equal(build_rhs(8), build_rhs(8))
+
+
+class TestSolve:
+    def test_residual_decreases_monotonically(self):
+        v = build_rhs(16)
+        _, norms = mg_solve(v, 4)
+        assert all(b < a for a, b in zip(norms, norms[1:]))
+
+    def test_class_s_verifies(self):
+        result = run_mg("S")
+        assert result.verified
+        assert result.details["reduction"] > 10.0
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            mg_solve(np.zeros((8, 8, 8)), 0)

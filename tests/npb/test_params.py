@@ -1,0 +1,89 @@
+"""Problem-size tables: monotonicity and plausibility across classes."""
+
+import pytest
+
+from repro.npb.common import NPBClass
+from repro.npb.params import (
+    ALL_BENCHMARKS,
+    bt_params,
+    cg_params,
+    ep_params,
+    ft_params,
+    is_params,
+    lu_params,
+    mg_params,
+    sp_params,
+)
+
+GETTERS = {
+    "is": is_params,
+    "mg": mg_params,
+    "ep": ep_params,
+    "cg": cg_params,
+    "ft": ft_params,
+    "bt": bt_params,
+    "lu": lu_params,
+    "sp": sp_params,
+}
+
+CLASSES = [NPBClass.S, NPBClass.W, NPBClass.A, NPBClass.B, NPBClass.C]
+
+
+@pytest.mark.parametrize("kernel", ALL_BENCHMARKS)
+def test_op_counts_grow_with_class(kernel):
+    mops = [GETTERS[kernel](c).total_mops for c in CLASSES]
+    assert all(b > a for a, b in zip(mops, mops[1:]))
+
+
+@pytest.mark.parametrize("kernel", ALL_BENCHMARKS)
+def test_working_sets_nondecreasing(kernel):
+    ws = [GETTERS[kernel](c).working_set_bytes for c in CLASSES]
+    assert all(b >= a for a, b in zip(ws, ws[1:]))
+
+
+def test_is_class_c_sizes():
+    p = is_params(NPBClass.C)
+    assert p.n_keys == 2**27
+    assert p.max_key == 2**23
+    assert p.iterations == 10
+
+
+def test_ep_class_c_op_count():
+    # NPB counts 2^(m+1) operations; class C has m = 32.
+    assert ep_params(NPBClass.C).total_mops == pytest.approx(2**33 / 1e6)
+
+
+def test_cg_official_sizes_and_zetas():
+    s = cg_params(NPBClass.S)
+    assert (s.n, s.nonzer, s.niter, s.shift) == (1400, 7, 15, 10.0)
+    assert s.zeta_ref == pytest.approx(8.5971775078648)
+    c = cg_params(NPBClass.C)
+    assert (c.n, c.nonzer, c.niter, c.shift) == (150000, 15, 75, 110.0)
+
+
+def test_mg_class_c_is_512_cubed_20_iters():
+    p = mg_params(NPBClass.C)
+    assert p.grid == 512
+    assert p.iterations == 20
+
+
+def test_ft_class_b_is_not_cubic():
+    p = ft_params(NPBClass.B)
+    assert (p.nx, p.ny, p.nz) == (512, 256, 256)
+
+
+def test_ft_class_b_working_set_exceeds_1gb():
+    # This is what makes the AllWinner D1 a DNR in the paper's Table 2.
+    assert ft_params(NPBClass.B).working_set_bytes > 2**30 * 0.85
+
+
+def test_pseudo_apps_class_c_grid():
+    for getter in (bt_params, lu_params, sp_params):
+        assert getter(NPBClass.C).grid == 162
+
+
+def test_pseudo_app_flop_totals_near_official():
+    # BT C ~= 6.8e11, LU C ~= 4.1e11, SP C ~= 5.8e11 flops.
+    assert bt_params(NPBClass.C).total_mops == pytest.approx(6.8e5, rel=0.03)
+    assert lu_params(NPBClass.C).total_mops == pytest.approx(4.1e5, rel=0.03)
+    assert sp_params(NPBClass.C).total_mops == pytest.approx(5.8e5, rel=0.03)

@@ -1,0 +1,64 @@
+"""The shared BT/LU/SP substrate: operator, manufactured solution."""
+
+import numpy as np
+import pytest
+
+from repro.npb.pseudo import (
+    NCOMP,
+    ModelProblem,
+    apply_operator,
+    coupling_matrix,
+    manufactured_solution,
+)
+
+
+class TestCouplingMatrix:
+    def test_symmetric_positive_definite(self):
+        k = coupling_matrix()
+        assert np.allclose(k, k.T)
+        assert np.all(np.linalg.eigvalsh(k) > 0)
+
+
+class TestOperator:
+    def test_linearity(self):
+        rng = np.random.default_rng(6)
+        u1 = rng.normal(size=(NCOMP, 8, 8, 8))
+        u2 = rng.normal(size=(NCOMP, 8, 8, 8))
+        k = coupling_matrix()
+        left = apply_operator(u1 + 3.0 * u2, 0.125, k)
+        right = apply_operator(u1, 0.125, k) + 3.0 * apply_operator(u2, 0.125, k)
+        assert np.allclose(left, right)
+
+    def test_constant_field_sees_only_coupling(self):
+        # Derivatives of a constant vanish; L(c) = K c.
+        u = np.ones((NCOMP, 8, 8, 8))
+        k = coupling_matrix()
+        out = apply_operator(u, 0.125, k)
+        expected = k @ np.ones(NCOMP)
+        for c in range(NCOMP):
+            assert np.allclose(out[c], expected[c])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            apply_operator(np.zeros((3, 8, 8, 8)), 0.125, coupling_matrix())
+
+
+class TestModelProblem:
+    def test_residual_zero_at_exact_solution(self):
+        prob = ModelProblem(12)
+        r = prob.residual(prob.u_exact)
+        assert np.abs(r).max() < 1e-10
+
+    def test_error_norm_zero_at_exact_solution(self):
+        prob = ModelProblem(12)
+        assert prob.error_norm(prob.u_exact) == 0.0
+
+    def test_manufactured_solution_periodic_smooth(self):
+        u = manufactured_solution(16)
+        assert u.shape == (NCOMP, 16, 16, 16)
+        # Components are distinct.
+        assert not np.allclose(u[0], u[1])
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ModelProblem(2)

@@ -1,0 +1,75 @@
+"""Workload signatures: Table 1 character and structural expectations."""
+
+import pytest
+
+from repro.npb.params import ALL_BENCHMARKS
+from repro.npb.signatures import signature_for
+
+
+class TestCharacter:
+    """The signature classifier must agree with the paper's Table 1."""
+
+    def test_is_latency_bound(self):
+        assert signature_for("is", "C").memory_character() == "latency-bound"
+
+    def test_ep_compute_bound(self):
+        assert signature_for("ep", "C").memory_character() == "compute-bound"
+
+    def test_mg_not_compute_bound(self):
+        assert signature_for("mg", "C").memory_character() != "compute-bound"
+
+    def test_sp_more_traffic_than_bt(self):
+        # Table 1: SP has the highest stall rates of the three, BT the lowest.
+        assert (
+            signature_for("sp", "C").dram_bytes_per_op
+            > signature_for("lu", "C").dram_bytes_per_op
+            > signature_for("bt", "C").dram_bytes_per_op
+        )
+
+    def test_only_cg_has_the_gather_pathology(self):
+        for kernel in ALL_BENCHMARKS:
+            sig = signature_for(kernel, "C")
+            assert (sig.gather_pathology > 0) == (kernel == "cg")
+
+    def test_only_ft_has_alltoall(self):
+        for kernel in ALL_BENCHMARKS:
+            sig = signature_for(kernel, "C")
+            assert (sig.comm.alltoall_bytes > 0) == (kernel == "ft")
+
+    def test_lu_has_most_barriers(self):
+        # Wavefront sweeps synchronise per hyperplane.
+        lu = signature_for("lu", "C").comm.barriers_per_mop
+        for other in ("bt", "sp", "ep"):
+            assert lu > signature_for(other, "C").comm.barriers_per_mop
+
+
+class TestStructure:
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS)
+    @pytest.mark.parametrize("npb_class", ["S", "W", "A", "B", "C"])
+    def test_all_signatures_build(self, kernel, npb_class):
+        sig = signature_for(kernel, npb_class)
+        assert sig.total_mops > 0
+        assert sig.npb_class == npb_class
+
+    def test_cached(self):
+        assert signature_for("is", "C") is signature_for("is", "C")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError, match="cg"):
+            signature_for("nonesuch", "C")
+
+    def test_class_c_bigger_than_class_s(self):
+        for kernel in ALL_BENCHMARKS:
+            assert (
+                signature_for(kernel, "C").total_mops
+                > signature_for(kernel, "S").total_mops
+            )
+
+    def test_is_random_target_is_histogram(self):
+        sig = signature_for("is", "C")
+        assert sig.random_target_bytes == pytest.approx(4 * 2**23)
+
+    def test_cg_random_target_is_x_vector(self):
+        sig = signature_for("cg", "C")
+        assert sig.random_target_bytes == pytest.approx(8 * 150000)
+        assert sig.gather_mlp_factor < 1.0  # dependency-chained gathers

@@ -1,0 +1,107 @@
+"""SP: pentadiagonal solver correctness and convergence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.npb.sp import line_coefficients, penta_solve, run_sp, sp_step
+from repro.npb.pseudo import NCOMP, ModelProblem
+
+
+def dense_from_bands(e, a, b, c, f):
+    n = len(b)
+    m = np.zeros((n, n))
+    for i in range(n):
+        m[i, i] = b[i]
+        if i >= 1:
+            m[i, i - 1] = a[i]
+        if i >= 2:
+            m[i, i - 2] = e[i]
+        if i + 1 < n:
+            m[i, i + 1] = c[i]
+        if i + 2 < n:
+            m[i, i + 2] = f[i]
+    return m
+
+
+class TestPentaSolve:
+    def test_matches_dense_solve(self):
+        rng = np.random.default_rng(9)
+        n = 12
+        e = rng.normal(size=n) * 0.1
+        a = rng.normal(size=n) * 0.2
+        b = rng.normal(size=n) * 0.1 + 4.0
+        c = rng.normal(size=n) * 0.2
+        f = rng.normal(size=n) * 0.1
+        e[:2] = 0.0
+        a[0] = 0.0
+        c[-1] = 0.0
+        f[-2:] = 0.0
+        d = rng.normal(size=(n, 4))
+        x = penta_solve(e, a, b, c, f, d)
+        dense = dense_from_bands(e, a, b, c, f)
+        for j in range(4):
+            assert np.allclose(x[:, j], np.linalg.solve(dense, d[:, j]), atol=1e-10)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25)
+    def test_random_dominant_systems(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        e = rng.uniform(-0.2, 0.2, n)
+        a = rng.uniform(-0.4, 0.4, n)
+        b = rng.uniform(3.0, 5.0, n)
+        c = rng.uniform(-0.4, 0.4, n)
+        f = rng.uniform(-0.2, 0.2, n)
+        e[:2] = a[0] = c[-1] = 0.0
+        f[-2:] = 0.0
+        d = rng.normal(size=(n, 1))
+        x = penta_solve(e, a, b, c, f, d)
+        dense = dense_from_bands(e, a, b, c, f)
+        assert np.allclose(dense @ x[:, 0], d[:, 0], atol=1e-8)
+
+    def test_tridiagonal_special_case(self):
+        # With zero e/f bands the solver degrades to Thomas.
+        n = 6
+        z = np.zeros(n)
+        b = np.full(n, 2.0)
+        a = np.full(n, -1.0)
+        c = np.full(n, -1.0)
+        a[0] = c[-1] = 0.0
+        d = np.ones((n, 1))
+        x = penta_solve(z, a, b, c, f=z, d=d)
+        dense = dense_from_bands(z, a, b, c, z)
+        assert np.allclose(dense @ x[:, 0], d[:, 0])
+
+    def test_too_short_rejected(self):
+        z = np.zeros(2)
+        with pytest.raises(ValueError):
+            penta_solve(z, z, z + 1, z, z, np.ones((2, 1)))
+
+
+class TestCoefficients:
+    def test_dissipation_bands_present(self):
+        e, a, b, c, f = line_coefficients(10, 0.1, 0.05, 0, 2.0)
+        assert e[5] > 0.0
+        assert f[5] > 0.0
+
+    def test_boundary_closure(self):
+        e, a, b, c, f = line_coefficients(10, 0.1, 0.05, 0, 2.0)
+        assert e[0] == e[1] == 0.0
+        assert a[0] == 0.0
+        assert c[-1] == 0.0
+        assert f[-1] == f[-2] == 0.0
+
+
+class TestSPConvergence:
+    def test_step_reduces_error(self):
+        prob = ModelProblem(8)
+        u = np.zeros((NCOMP, 8, 8, 8))
+        dt = 0.5 * prob.h
+        e0 = prob.error_norm(u)
+        for _ in range(15):
+            u = u + sp_step(prob, u, prob.residual(u), dt)
+        assert prob.error_norm(u) < 0.6 * e0
+
+    def test_class_s_verifies(self):
+        assert run_sp("S").verified

@@ -1,0 +1,28 @@
+"""The suite registry and full class-S run."""
+
+import pytest
+
+from repro.npb.params import ALL_BENCHMARKS
+from repro.npb.suite import RUNNERS, run_benchmark, run_suite
+
+
+def test_registry_covers_all_eight():
+    assert set(RUNNERS) == set(ALL_BENCHMARKS)
+    assert len(RUNNERS) == 8
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError, match="mg"):
+        run_benchmark("hpl", "S")
+
+
+def test_case_insensitive_lookup():
+    assert run_benchmark("EP", "S").verified
+
+
+@pytest.mark.slow
+def test_full_class_s_suite_verifies():
+    results = run_suite("S")
+    assert len(results) == 8
+    for result in results:
+        assert result.verified, f"{result.name} failed verification"

@@ -1,0 +1,79 @@
+"""OMP_PROC_BIND / OMP_PLACES parsing and placements."""
+
+import pytest
+
+from repro.machines.topology import Topology
+from repro.openmp.affinity import ProcBind, parse_places, place_threads
+
+SOPHON = Topology(total_cores=64, cores_per_cluster=4)
+
+
+class TestProcBindParsing:
+    def test_unset_is_false(self):
+        assert ProcBind.parse(None) is ProcBind.FALSE
+        assert ProcBind.parse("") is ProcBind.FALSE
+
+    @pytest.mark.parametrize("text,expected", [
+        ("false", ProcBind.FALSE),
+        ("TRUE", ProcBind.TRUE),
+        ("close", ProcBind.CLOSE),
+        ("Spread", ProcBind.SPREAD),
+        ("master", ProcBind.MASTER),
+    ])
+    def test_values(self, text, expected):
+        assert ProcBind.parse(text) is expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            ProcBind.parse("sideways")
+
+
+class TestPlacesParsing:
+    def test_cores_default(self):
+        places = parse_places("cores", SOPHON)
+        assert len(places) == 64
+        assert places[5] == [5]
+
+    def test_sockets(self):
+        topo = Topology(total_cores=8, cores_per_cluster=2, numa_regions=2)
+        assert parse_places("sockets", topo) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_explicit_singletons(self):
+        assert parse_places("{0},{8},{16}", SOPHON) == [[0], [8], [16]]
+
+    def test_interval_form(self):
+        assert parse_places("{0:4},{60:4}", SOPHON) == [
+            [0, 1, 2, 3],
+            [60, 61, 62, 63],
+        ]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_places("{64}", SOPHON)
+
+    def test_zero_length_interval_rejected(self):
+        with pytest.raises(ValueError):
+            parse_places("{0:0}", SOPHON)
+
+
+class TestPlacement:
+    def test_false_is_unbound(self):
+        p = place_threads(SOPHON, 64, "false")
+        assert p.cores is None
+
+    def test_close_packs(self):
+        p = place_threads(SOPHON, 8, "close")
+        assert p.cores == tuple(range(8))
+        assert p.max_cluster_occupancy() == 4.0
+
+    def test_spread_spreads(self):
+        p = place_threads(SOPHON, 16, "spread")
+        assert p.max_cluster_occupancy() == 1.0
+
+    def test_master_stacks_everything(self):
+        p = place_threads(SOPHON, 4, "master")
+        assert set(p.cores) == {0}
+
+    def test_thread_count_validated(self):
+        with pytest.raises(ValueError):
+            place_threads(SOPHON, 65, "close")

@@ -1,0 +1,75 @@
+"""The fork-join simulator and the Section 5.2 placement findings."""
+
+import pytest
+
+from repro.machines import get_machine
+from repro.openmp import OpenMPRuntime, ScheduleKind
+
+
+@pytest.fixture
+def rt():
+    return OpenMPRuntime(get_machine("sg2044"))
+
+
+class TestRegions:
+    def test_fork_and_join_barriers_accounted(self, rt):
+        with rt.parallel(16) as region:
+            pass
+        assert region.barriers == 2  # fork + join
+        assert region.sync_seconds > 0
+        assert rt.regions == [region]
+
+    def test_parallel_for_adds_implicit_barrier(self, rt):
+        with rt.parallel(8) as region:
+            chunks = rt.parallel_for(region, 1000)
+        assert region.barriers == 3
+        assert len(chunks) == 8
+
+    def test_reduction_costs_more_than_barrier(self, rt):
+        with rt.parallel(32) as region:
+            b = rt.barrier(region)
+            r = rt.reduction(region)
+        assert r > b
+
+    def test_nested_regions_rejected(self, rt):
+        with rt.parallel(4):
+            with pytest.raises(RuntimeError):
+                with rt.parallel(2):
+                    pass
+
+    def test_dynamic_schedule_imbalance_recorded(self, rt):
+        with rt.parallel(7) as region:
+            rt.parallel_for(region, 100, ScheduleKind.DYNAMIC, chunk_size=3)
+        assert region.load_imbalance >= 0.0
+
+    def test_thread_count_validated(self, rt):
+        with pytest.raises(ValueError):
+            rt.parallel(65)
+
+
+class TestPlacementEfficiency:
+    """The paper's surprising Section 5.2 result."""
+
+    def test_unbound_is_best(self):
+        m = get_machine("sg2044")
+        unbound = OpenMPRuntime(m).placement_efficiency(64)
+        close = OpenMPRuntime(m, proc_bind="close").placement_efficiency(64)
+        spread = OpenMPRuntime(m, proc_bind="spread").placement_efficiency(64)
+        master = OpenMPRuntime(m, proc_bind="master").placement_efficiency(64)
+        assert unbound == 1.0
+        assert unbound > close
+        assert unbound > spread
+        assert master < 0.1
+
+    def test_spread_beats_close_at_partial_occupancy(self):
+        m = get_machine("sg2044")
+        close = OpenMPRuntime(m, proc_bind="close").placement_efficiency(16)
+        spread = OpenMPRuntime(m, proc_bind="spread").placement_efficiency(16)
+        assert spread > close
+
+    def test_full_chip_close_equals_spread(self):
+        # With every core busy there is nothing left to spread.
+        m = get_machine("sg2044")
+        close = OpenMPRuntime(m, proc_bind="close").placement_efficiency(64)
+        spread = OpenMPRuntime(m, proc_bind="spread").placement_efficiency(64)
+        assert close == pytest.approx(spread)

@@ -1,0 +1,82 @@
+"""OpenMP loop schedules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openmp.schedule import (
+    Chunk,
+    ScheduleKind,
+    imbalance,
+    schedule_iterations,
+)
+
+
+def coverage(chunks, n):
+    seen = []
+    for ch in chunks:
+        seen.extend(range(ch.start, ch.stop))
+    return sorted(seen) == list(range(n))
+
+
+class TestStatic:
+    def test_near_equal_blocks(self):
+        chunks = schedule_iterations(10, 3)
+        sizes = sorted(ch.size for ch in chunks)
+        assert sizes == [3, 3, 4]
+
+    def test_every_iteration_exactly_once(self):
+        assert coverage(schedule_iterations(100, 7), 100)
+
+    def test_static_chunked_round_robin(self):
+        chunks = schedule_iterations(8, 2, ScheduleKind.STATIC, chunk_size=2)
+        assert [ch.thread for ch in chunks] == [0, 1, 0, 1]
+
+    def test_fewer_iterations_than_threads(self):
+        chunks = schedule_iterations(2, 8)
+        assert len(chunks) == 2
+        assert coverage(chunks, 2)
+
+
+class TestDynamicAndGuided:
+    @given(
+        n=st.integers(1, 500),
+        threads=st.integers(1, 16),
+        chunk=st.integers(1, 32),
+        kind=st.sampled_from([ScheduleKind.DYNAMIC, ScheduleKind.GUIDED]),
+    )
+    @settings(max_examples=60)
+    def test_complete_disjoint_coverage(self, n, threads, chunk, kind):
+        chunks = schedule_iterations(n, threads, kind, chunk)
+        assert coverage(chunks, n)
+
+    def test_guided_chunks_shrink(self):
+        chunks = schedule_iterations(1000, 4, ScheduleKind.GUIDED, chunk_size=8)
+        sizes = [ch.size for ch in chunks]
+        assert sizes[0] > sizes[-1]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestImbalance:
+    def test_balanced_static(self):
+        chunks = schedule_iterations(64, 8)
+        assert imbalance(chunks, 8) == pytest.approx(0.0)
+
+    def test_unbalanced_detected(self):
+        chunks = [Chunk(0, 0, 10), Chunk(1, 10, 12)]
+        assert imbalance(chunks, 2) == pytest.approx(10 / 6 - 1)
+
+    def test_empty_thread_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance([], 2)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            schedule_iterations(0, 4)
+        with pytest.raises(ValueError):
+            schedule_iterations(4, 0)
+        with pytest.raises(ValueError):
+            schedule_iterations(4, 2, ScheduleKind.DYNAMIC, chunk_size=0)
+        with pytest.raises(ValueError):
+            Chunk(0, 5, 5)

@@ -1,0 +1,50 @@
+"""Simulated perf counters."""
+
+import pytest
+
+from repro.compilers.gcc import get_compiler
+from repro.machines.catalog import get_machine
+from repro.npb.signatures import signature_for
+from repro.perf.counters import measure
+
+
+class TestCounters:
+    def test_basic_sanity(self, model):
+        c = measure(
+            get_machine("sg2044"),
+            signature_for("ep", "C"),
+            get_compiler("gcc-15.2"),
+            model=model,
+        )
+        assert c.instructions > 0
+        assert c.cycles > 0
+        assert 0.0 < c.ipc < 4.0
+        assert c.branch_misses < c.branches < c.instructions
+
+    def test_summary_format(self, model):
+        c = measure(
+            get_machine("sg2044"),
+            signature_for("mg", "C"),
+            get_compiler("gcc-15.2"),
+            model=model,
+        )
+        s = c.summary()
+        assert "IPC" in s and "MG" in s
+
+    def test_scalar_vs_vector_instruction_counts(self, model):
+        m = get_machine("sg2044")
+        sig = signature_for("mg", "C")
+        gcc = get_compiler("gcc-15.2")
+        scalar = measure(m, sig, gcc, vectorise=False, model=model)
+        vector = measure(m, sig, gcc, vectorise=True, model=model)
+        # Healthy vectorisation retires fewer instructions.
+        assert vector.instructions < scalar.instructions
+
+    def test_pathological_cg_retires_more_instructions(self, model):
+        m = get_machine("sg2044")
+        sig = signature_for("cg", "C")
+        gcc = get_compiler("gcc-15.2")
+        scalar = measure(m, sig, gcc, vectorise=False, model=model)
+        vector = measure(m, sig, gcc, vectorise=True, model=model)
+        assert vector.instructions > 1.5 * scalar.instructions
+        assert vector.branch_miss_rate > 1.8 * scalar.branch_miss_rate

@@ -1,0 +1,35 @@
+"""The Section 6 CG vectorisation study."""
+
+import pytest
+
+from repro.perf.profile import UNROLL_SPEEDUPS, cg_vectorisation_study
+
+
+class TestCGStudy:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return cg_vectorisation_study("sg2044")
+
+    def test_vectorised_materially_slower(self, row):
+        assert 1.8 < row.slowdown < 3.2  # paper: ~2.7x
+
+    def test_branch_misses_double(self, row):
+        assert row.branch_miss_ratio == pytest.approx(2.0, abs=0.2)
+
+    def test_ipc_nearly_equal(self, row):
+        # Paper: 0.54 scalar vs 0.51 vectorised -- near parity.
+        assert row.ipc_vectorised == pytest.approx(row.ipc_scalar, rel=0.25)
+
+    def test_unroll_ladder(self, row):
+        gains = [v.relative_to_default_vec for v in row.unroll_variants]
+        assert gains == sorted(gains)
+        assert gains[-1] == UNROLL_SPEEDUPS[8] == 1.64
+
+    def test_no_unroll_variant_beats_scalar(self, row):
+        # The paper's conclusion: "these still fell short of the
+        # non-vectorised performance."
+        assert not any(v.beats_scalar for v in row.unroll_variants)
+
+    def test_spacemit_penalty_marginal(self):
+        row = cg_vectorisation_study("milkv-jupiter", npb_class="B")
+        assert row.slowdown < 1.35

@@ -1,0 +1,60 @@
+"""STREAM: host kernels and the modelled Figure 1 curves."""
+
+import pytest
+
+from repro.machines import get_machine
+from repro.stream import STREAM_KERNELS, modelled_bandwidth, run_stream_host
+
+
+class TestHostStream:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_stream_host(n_elements=200_000, trials=3)
+
+    def test_all_four_kernels(self, results):
+        assert [r.kernel for r in results] == list(STREAM_KERNELS)
+
+    def test_all_verified(self, results):
+        assert all(r.verified for r in results)
+
+    def test_positive_bandwidth(self, results):
+        for r in results:
+            assert r.bandwidth_gbs > 0.01
+
+    def test_traffic_accounting(self, results):
+        by_kernel = {r.kernel: r for r in results}
+        # add/triad move 3 arrays, copy/scale 2: same array size.
+        assert by_kernel["add"].array_bytes == by_kernel["copy"].array_bytes
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(ValueError):
+            run_stream_host(n_elements=10)
+
+
+class TestModelledBandwidth:
+    def test_monotone_in_cores(self):
+        m = get_machine("sg2044")
+        bws = [modelled_bandwidth(m, n) for n in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_triad_slightly_below_copy(self):
+        m = get_machine("sg2044")
+        assert modelled_bandwidth(m, 64, "triad") < modelled_bandwidth(m, 64, "copy")
+
+    def test_figure1_plateau_and_ratio(self):
+        m42, m44 = get_machine("sg2042"), get_machine("sg2044")
+        # Similar up to 8 cores...
+        assert modelled_bandwidth(m42, 8) == pytest.approx(
+            modelled_bandwidth(m44, 8), rel=0.15
+        )
+        # ... >3x apart at 64.
+        ratio = modelled_bandwidth(m44, 64) / modelled_bandwidth(m42, 64)
+        assert ratio > 2.7
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            modelled_bandwidth(get_machine("sg2044"), 1, "quadruple")
+
+    def test_core_count_validated(self):
+        with pytest.raises(ValueError):
+            modelled_bandwidth(get_machine("skylake8170"), 64)

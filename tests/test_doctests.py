@@ -1,0 +1,18 @@
+"""Run the doctests embedded in the public API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.metrics
+import repro.npb.signatures
+import repro.npb.suite
+
+MODULES = [repro.core.metrics, repro.npb.signatures, repro.npb.suite]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0
