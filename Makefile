@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-full
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# CI smoke: import-check and run every benchmark body once, no timing.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
+
+# Full timed regeneration of every table and figure.
+bench-full:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only

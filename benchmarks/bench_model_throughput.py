@@ -21,3 +21,25 @@ def test_prediction_throughput(benchmark):
 
     preds = benchmark(sweep)
     assert len(preds) == 35
+
+
+def test_prediction_throughput_batched(benchmark):
+    model = PerformanceModel()
+    machine = get_machine("sg2044")
+    compiler = get_compiler("gcc-15.2")
+    sigs = [signature_for(k, "C") for k in ("is", "mg", "ep", "cg", "ft")]
+
+    def sweep():
+        return model.predict_batch(
+            machine, sigs, compiler, (1, 2, 4, 8, 16, 32, 64)
+        )
+
+    preds = benchmark(sweep)
+    assert len(preds) == 35
+    # Same grid, same order as the scalar loop above.
+    loop = [
+        model.predict(machine, sig, compiler, n)
+        for sig in sigs
+        for n in (1, 2, 4, 8, 16, 32, 64)
+    ]
+    assert preds == loop

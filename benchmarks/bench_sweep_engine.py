@@ -1,0 +1,68 @@
+"""Sweep-engine throughput: batched prediction and warm-cache regeneration.
+
+Covers the two claims the engine makes: ``predict_batch`` beats the
+config-at-a-time loop on grid evaluation, and a warmed engine serves
+whole table/figure grids from its result cache.
+"""
+
+from repro.compilers.gcc import get_compiler
+from repro.core.experiment import ExperimentConfig
+from repro.core.perfmodel import PerformanceModel
+from repro.core.sweep import SweepEngine, expand_grid
+from repro.harness import paper
+from repro.machines.catalog import get_machine
+from repro.npb.signatures import signature_for
+
+_THREADS = (1, 2, 4, 8, 16, 26, 32, 64)
+
+
+def test_batch_vs_loop_prediction(benchmark):
+    """Batched grid evaluation of every paper kernel on both Sophons."""
+    model = PerformanceModel()
+    compiler = get_compiler("gcc-15.2")
+    sigs = [signature_for(k, "C") for k in paper.KERNELS]
+    machines = [get_machine(m) for m in ("sg2044", "sg2042")]
+
+    def sweep():
+        return [
+            p
+            for machine in machines
+            for p in model.predict_batch(machine, sigs, compiler, _THREADS)
+        ]
+
+    preds = benchmark(sweep)
+    assert len(preds) == len(machines) * len(sigs) * len(_THREADS)
+    # The batch path must agree with the one-at-a-time path exactly.
+    spot = model.predict(machines[0], sigs[0], compiler, _THREADS[-1])
+    assert spot in preds
+
+
+def test_warm_cache_sweep_regeneration(benchmark):
+    """Re-expanding a Table-4-style grid against a warmed engine."""
+    engine = SweepEngine()
+    grid = expand_grid(
+        ("sg2044", "sg2042"), paper.KERNELS, classes="C", thread_counts=_THREADS
+    )
+    warm = engine.run_many(grid)
+    assert len(warm) == len(grid)
+
+    def regenerate():
+        return engine.run_many(grid)
+
+    results = benchmark(regenerate)
+    assert results == warm
+    assert engine.hits > 0
+
+
+def test_thread_sweep_through_engine(benchmark):
+    """One figure line (64-point family collapse) through sweep_threads."""
+    engine = SweepEngine()
+    config = ExperimentConfig(machine="sg2044", kernel="cg", vectorise=False)
+
+    def sweep():
+        engine.clear_cache()
+        return engine.sweep_threads(config, _THREADS)
+
+    results = benchmark(sweep)
+    assert [r.n_threads for r in results] == list(_THREADS)
+    assert all(r.kernel == "cg" for r in results)

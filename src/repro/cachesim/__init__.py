@@ -4,7 +4,7 @@ from .cache import CacheStats, SetAssociativeCache
 from .hierarchy import CacheHierarchy, LevelResult, xeon8170_hierarchy
 from .sophon import CGGatherStats, cg_l2_ablation, sophon_hierarchy
 from .stats import StallProfile, profile_kernel, table1_profile
-from .trace import KERNEL_TRACES, TraceSpec, build_trace
+from .trace import KERNEL_TRACES, TraceSpec, build_trace, clear_trace_cache
 
 __all__ = [
     "CGGatherStats",
@@ -16,6 +16,7 @@ __all__ = [
     "StallProfile",
     "TraceSpec",
     "build_trace",
+    "clear_trace_cache",
     "cg_l2_ablation",
     "profile_kernel",
     "sophon_hierarchy",

@@ -13,6 +13,7 @@ EP performs ~40 arithmetic cycles per memory reference, IS barely 2.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,7 @@ __all__ = [
     "TraceSpec",
     "KERNEL_TRACES",
     "build_trace",
+    "clear_trace_cache",
     "sequential",
     "strided",
     "uniform_random",
@@ -231,14 +233,44 @@ KERNEL_TRACES: dict[str, TraceSpec] = {
 }
 
 
+_trace_cache: dict[tuple, tuple[np.ndarray, np.ndarray, TraceSpec]] = {}
+_trace_lock = threading.Lock()
+
+
 def build_trace(
     kernel: str, n_accesses: int = 120_000, seed: int = 42
 ) -> tuple[np.ndarray, np.ndarray, TraceSpec]:
     """Materialise a kernel's trace: (addresses, prefetchable-mask, spec).
 
-    Streams are interleaved round-robin, the way the kernels' inner loops
-    mix their references.
+    Memoised per ``(kernel, n_accesses, seed)`` -- generation is pure, and
+    every simulator pass over the same kernel spec re-requests the same
+    trace.  Cached arrays are marked read-only; copy before mutating.
+    :func:`clear_trace_cache` evicts.
     """
+    key = (kernel, n_accesses, seed)
+    with _trace_lock:
+        hit = _trace_cache.get(key)
+    if hit is not None:
+        return hit
+    addrs, mask, spec = _build_trace_uncached(kernel, n_accesses, seed)
+    addrs.setflags(write=False)
+    mask.setflags(write=False)
+    with _trace_lock:
+        _trace_cache[key] = (addrs, mask, spec)
+    return addrs, mask, spec
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoised traces."""
+    with _trace_lock:
+        _trace_cache.clear()
+
+
+def _build_trace_uncached(
+    kernel: str, n_accesses: int, seed: int
+) -> tuple[np.ndarray, np.ndarray, TraceSpec]:
+    """Streams are interleaved round-robin, the way the kernels' inner
+    loops mix their references."""
     try:
         spec = KERNEL_TRACES[kernel]
     except KeyError:

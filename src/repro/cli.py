@@ -36,13 +36,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    jobs_help = "worker threads for sweep execution (default: REPRO_JOBS or auto)"
+
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 9))
     p.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int, choices=range(1, 7))
     p.add_argument("--csv", action="store_true")
+    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     p = sub.add_parser("npb", help="run one NPB benchmark functionally")
     p.add_argument("kernel", choices=["is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"])
@@ -81,8 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("export", help="write every table/figure as CSV")
     p.add_argument("directory")
+    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
-    sub.add_parser("score", help="model-vs-paper error scorecard")
+    p = sub.add_parser("score", help="model-vs-paper error scorecard")
+    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     return parser
 
@@ -290,6 +296,15 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        from repro.core.sweep import set_default_jobs
+
+        try:
+            set_default_jobs(jobs)
+        except ValueError as exc:
+            print(f"repro: error: --jobs: {exc}", file=sys.stderr)
+            return 2
     return _COMMANDS[args.command](args)
 
 

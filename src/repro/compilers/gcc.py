@@ -135,8 +135,12 @@ _REGISTRY: dict[str, CompilerSpec] = {
 }
 
 
+@lru_cache(maxsize=None)
 def get_compiler(name: str) -> CompilerSpec:
-    """Look up a compiler by registry name (e.g. ``"gcc-15.2"``)."""
+    """Look up a compiler by registry name (e.g. ``"gcc-15.2"``).
+
+    Memoised; specs are frozen dataclasses, safe to share across threads.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:

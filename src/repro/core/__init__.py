@@ -13,6 +13,14 @@ from .metrics import (
 from .perfmodel import DNRError, PerformanceModel, Prediction
 from .results import ExperimentResult, RunSample
 from .signature import CommPattern, KernelSignature
+from .sweep import (
+    SweepEngine,
+    clear_caches,
+    default_engine,
+    expand_grid,
+    paper_vectorise,
+    set_default_jobs,
+)
 
 __all__ = [
     "ANCHORS",
@@ -27,11 +35,17 @@ __all__ = [
     "PerformanceModel",
     "Prediction",
     "RunSample",
+    "SweepEngine",
     "anchor_for",
     "calibration_factors",
+    "clear_caches",
     "crossover_threads",
+    "default_engine",
+    "expand_grid",
+    "paper_vectorise",
     "parallel_efficiency",
     "percent_of",
+    "set_default_jobs",
     "speedup_curve",
     "times_faster",
 ]

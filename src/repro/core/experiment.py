@@ -18,7 +18,7 @@ import numpy as np
 from repro.compilers.gcc import default_compiler_for, get_compiler
 from repro.machines.catalog import get_machine
 
-from .perfmodel import PerformanceModel
+from .perfmodel import Prediction, PerformanceModel
 from .results import ExperimentResult, RunSample
 
 __all__ = ["ExperimentConfig", "ExperimentRunner", "DEFAULT_RUNS"]
@@ -83,6 +83,17 @@ class ExperimentRunner:
         self.model = model or PerformanceModel()
         self.noise_cv = noise_cv
         self.seed = seed
+        self._engine = None
+
+    @property
+    def engine(self):
+        """Lazily constructed :class:`repro.core.sweep.SweepEngine` over
+        this runner (memoising + parallel execution front-end)."""
+        if self._engine is None:
+            from .sweep import SweepEngine
+
+            self._engine = SweepEngine(self)
+        return self._engine
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Execute one configuration (``config.runs`` modelled repetitions).
@@ -100,7 +111,62 @@ class ExperimentRunner:
         prediction = self.model.predict(
             machine, signature, compiler, config.n_threads, config.vectorise
         )
+        return self._measure(config, signature, prediction, compiler_name)
 
+    def run_many(self, configs: list[ExperimentConfig]) -> list[ExperimentResult]:
+        """Execute a batch of configurations through the vectorised model.
+
+        Configs sharing everything but the thread count are grouped into a
+        single :meth:`PerformanceModel.predict_batch` evaluation, so a
+        whole thread sweep costs one model pass instead of one per point.
+        Results come back in input order and are identical to calling
+        :meth:`run` per config (the noise stream is keyed per config, not
+        by execution order).
+        """
+        from repro.npb.signatures import signature_for
+
+        predictions: dict[int, Prediction] = {}
+        groups: dict[tuple, list[int]] = {}
+        for idx, config in enumerate(configs):
+            fam = (
+                config.machine,
+                config.kernel,
+                config.npb_class,
+                config.resolved_compiler(),
+                config.vectorise,
+            )
+            groups.setdefault(fam, []).append(idx)
+
+        for fam, indices in groups.items():
+            machine_name, kernel, npb_class, compiler_name, vectorise = fam
+            machine = get_machine(machine_name)
+            signature = signature_for(kernel, npb_class)
+            compiler = get_compiler(compiler_name)
+            thread_counts = [configs[i].n_threads for i in indices]
+            preds = self.model.predict_batch(
+                machine, signature, compiler, thread_counts, vectorise
+            )
+            for i, pred in zip(indices, preds):
+                predictions[i] = pred
+
+        results = []
+        for idx, config in enumerate(configs):
+            signature = signature_for(config.kernel, config.npb_class)
+            results.append(
+                self._measure(
+                    config, signature, predictions[idx], config.resolved_compiler()
+                )
+            )
+        return results
+
+    def _measure(
+        self,
+        config: ExperimentConfig,
+        signature,
+        prediction: Prediction,
+        compiler_name: str,
+    ) -> ExperimentResult:
+        """Draw the seeded noise samples around one prediction."""
         # A process-stable hash (unlike builtin hash() on strings) keeps
         # "measurements" reproducible across interpreter invocations.
         key = (
@@ -110,13 +176,14 @@ class ExperimentRunner:
         digest = hashlib.sha256(key.encode()).digest()
         rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
         cv = self.noise_cv * (1.0 + 0.3 * np.log2(config.n_threads + 1))
-        samples = []
-        for i in range(config.runs):
-            factor = float(rng.lognormal(mean=0.0, sigma=cv))
-            t = prediction.time_s * factor
-            samples.append(
-                RunSample(run_index=i, time_s=t, mops=signature.total_mops / t)
-            )
+        # One batched draw; default_rng yields the same samples as
+        # config.runs sequential scalar draws from the same stream.
+        factors = rng.lognormal(mean=0.0, sigma=cv, size=config.runs)
+        times = prediction.time_s * factors
+        samples = tuple(
+            RunSample(run_index=i, time_s=float(t), mops=signature.total_mops / float(t))
+            for i, t in enumerate(times)
+        )
 
         return ExperimentResult(
             machine=config.machine,
@@ -125,7 +192,7 @@ class ExperimentRunner:
             n_threads=config.n_threads,
             compiler=compiler_name,
             vectorised=prediction.vectorised,
-            samples=tuple(samples),
+            samples=samples,
             prediction=prediction,
             notes=prediction.notes,
         )
@@ -133,5 +200,12 @@ class ExperimentRunner:
     def sweep_threads(
         self, config: ExperimentConfig, thread_counts: list[int]
     ) -> list[ExperimentResult]:
-        """Run a thread-count sweep (one figure line in the paper)."""
-        return [self.run(config.with_threads(n)) for n in thread_counts]
+        """Run a thread-count sweep (one figure line in the paper).
+
+        Routed through the sweep engine: the whole sweep is one batched
+        model evaluation, and repeated sweeps hit the engine's result
+        cache.
+        """
+        return self.engine.run_many(
+            [config.with_threads(n) for n in thread_counts]
+        )

@@ -24,12 +24,14 @@ the saturation physics above.
 
 from __future__ import annotations
 
-import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.compilers.model import CompilerSpec, vectorisation_outcome
 from repro.machines.machine import Machine
-from repro.machines.memory import smoothmin
+from repro.machines.memory import smoothmin_grid
 
 from .signature import KernelSignature
 
@@ -115,39 +117,90 @@ class PerformanceModel:
         ValueError
             For thread counts the machine cannot supply.
         """
-        machine.validate_thread_count(n_threads)
-        if not machine.memory.fits(int(signature.working_set_bytes)):
-            raise DNRError(
-                f"{signature.display} class {signature.npb_class} needs "
-                f"{signature.working_set_bytes / 2**30:.2f} GiB but "
-                f"{machine.label} has only "
-                f"{machine.memory.capacity_bytes / 2**30:.0f} GiB DRAM"
-            )
+        return self.predict_batch(machine, signature, compiler, (n_threads,), vectorise)[0]
 
-        raw = self._raw_time(machine, signature, compiler, n_threads, vectorise)
-        if self.calibrate:
-            alpha, kappa = self._calibration_factors(machine, signature)
-        else:
-            alpha, kappa = 1.0, 1.0
-        t_comp = raw["compute"] * alpha
-        time_s = (max(t_comp, raw["stream"]) + raw["latency"] + raw["sync"]) * kappa
-        mops = signature.total_mops / time_s
+    def predict_batch(
+        self,
+        machine: Machine,
+        signatures: KernelSignature | Sequence[KernelSignature],
+        compiler: CompilerSpec,
+        thread_counts: Sequence[int],
+        vectorise: bool = True,
+    ) -> list[Prediction]:
+        """Predict a grid of configurations in one vectorised evaluation.
 
-        return Prediction(
-            machine=machine.name,
-            kernel=signature.name,
-            npb_class=signature.npb_class,
-            n_threads=n_threads,
-            time_s=time_s,
-            mops=mops,
-            t_compute=t_comp * kappa,
-            t_stream=raw["stream"] * kappa,
-            t_latency=raw["latency"] * kappa,
-            t_sync=raw["sync"] * kappa,
-            vectorised=raw["vectorised"],
-            calibration_factor=alpha * kappa,
-            notes=tuple(raw["notes"]),
+        All cost terms are computed with NumPy over the whole
+        ``thread_counts`` axis at once, and the per-signature setup
+        (vectorisation legality, compiler quality factors, calibration
+        anchors) is resolved once per signature rather than once per
+        config.  ``predict`` routes through this path with a single-point
+        grid, so batch and scalar predictions are identical bit for bit.
+
+        Returns predictions in signature-major order: all thread counts of
+        the first signature, then the second, and so on.
+
+        Raises like :meth:`predict`: :class:`DNRError` when a signature's
+        working set does not fit the machine, ``ValueError`` for thread
+        counts the machine cannot supply.
+        """
+        sigs = (
+            [signatures]
+            if isinstance(signatures, KernelSignature)
+            else list(signatures)
         )
+        ns = np.asarray(tuple(thread_counts), dtype=np.int64)
+        if ns.size == 0 or not sigs:
+            return []
+        for n in dict.fromkeys(ns.tolist()):
+            machine.validate_thread_count(n)
+
+        out: list[Prediction] = []
+        for sig in sigs:
+            if not machine.memory.fits(int(sig.working_set_bytes)):
+                raise DNRError(
+                    f"{sig.display} class {sig.npb_class} needs "
+                    f"{sig.working_set_bytes / 2**30:.2f} GiB but "
+                    f"{machine.label} has only "
+                    f"{machine.memory.capacity_bytes / 2**30:.0f} GiB DRAM"
+                )
+            raw = self._raw_time_grid(machine, sig, compiler, ns, vectorise)
+            if self.calibrate:
+                alpha, kappa = self._calibration_factors(machine, sig)
+            else:
+                alpha, kappa = 1.0, 1.0
+            t_comp = raw["compute"] * alpha
+            time_s = (
+                np.maximum(t_comp, raw["stream"]) + raw["latency"] + raw["sync"]
+            ) * kappa
+            mops = sig.total_mops / time_s
+            t_comp_k = t_comp * kappa
+            t_stream_k = raw["stream"] * kappa
+            t_latency_k = raw["latency"] * kappa
+            t_sync_k = raw["sync"] * kappa
+            notes = tuple(raw["notes"])
+            for i, n in enumerate(ns.tolist()):
+                out.append(
+                    Prediction(
+                        machine=machine.name,
+                        kernel=sig.name,
+                        npb_class=sig.npb_class,
+                        n_threads=n,
+                        time_s=float(time_s[i]),
+                        mops=float(mops[i]),
+                        t_compute=float(t_comp_k[i]),
+                        t_stream=float(t_stream_k[i]),
+                        t_latency=float(t_latency_k[i]),
+                        t_sync=float(t_sync_k[i]),
+                        vectorised=raw["vectorised"],
+                        calibration_factor=alpha * kappa,
+                        notes=notes,
+                    )
+                )
+        return out
+
+    def clear_cache(self) -> None:
+        """Drop memoised calibration factors (rarely needed)."""
+        self._kappa_cache.clear()
 
     # ------------------------------------------------------------------
     # Cost terms
@@ -161,11 +214,35 @@ class PerformanceModel:
         n: int,
         vectorise: bool,
     ) -> dict:
+        """Scalar view of :meth:`_raw_time_grid` (calibration's entry point)."""
+        g = self._raw_time_grid(
+            machine, sig, compiler, np.asarray([n], dtype=np.int64), vectorise
+        )
+        return {
+            "total": float(g["total"][0]),
+            "compute": float(g["compute"][0]),
+            "stream": float(g["stream"][0]),
+            "latency": float(g["latency"][0]),
+            "sync": float(g["sync"][0]),
+            "vectorised": g["vectorised"],
+            "notes": g["notes"],
+        }
+
+    def _raw_time_grid(
+        self,
+        machine: Machine,
+        sig: KernelSignature,
+        compiler: CompilerSpec,
+        ns: np.ndarray,
+        vectorise: bool,
+    ) -> dict:
+        """Raw (uncalibrated) cost terms over a whole thread-count axis."""
         notes: list[str] = []
+        nsf = ns.astype(np.float64)
 
         # --- cache fit: how much of the nominal traffic reaches DRAM ----
-        cache_bytes = machine.effective_cache_bytes_per_thread(n) * n
-        spill = self._spill_fraction(sig.working_set_bytes, cache_bytes)
+        cache_bytes = machine.effective_cache_bytes_per_thread_grid(ns) * nsf
+        spill = self._spill_fraction_grid(sig.working_set_bytes, cache_bytes)
 
         # --- compute ----------------------------------------------------
         outcome = vectorisation_outcome(
@@ -187,7 +264,7 @@ class PerformanceModel:
             * compiler.scalar_quality_for(sig.name)
             * outcome.compute_multiplier
         )
-        n_eff = self._effective_threads(sig, machine, n)
+        n_eff = self._effective_threads_grid(sig, machine, ns)
         t_compute = sig.total_instructions / (n_eff * rate_per_core)
 
         # --- streaming bandwidth -----------------------------------------
@@ -195,11 +272,11 @@ class PerformanceModel:
         # scheduled memory code extracts less of the saturated subsystem
         # but is indistinguishable while a single core is the bottleneck.
         satq = compiler.saturation_quality_for(sig.name)
-        comm_bytes = self._communication_bytes(sig, machine, n)
+        comm_bytes = self._communication_bytes_grid(sig, machine, ns)
         stream_bytes = sig.total_dram_bytes * spill + comm_bytes
-        bw_demand = n * machine.memory.per_core_stream_bw_gbs
+        bw_demand = nsf * machine.memory.per_core_stream_bw_gbs
         bw = (
-            smoothmin(
+            smoothmin_grid(
                 bw_demand,
                 machine.memory.sustained_bw_gbs * satq,
                 machine.memory.saturation_sharpness,
@@ -209,14 +286,14 @@ class PerformanceModel:
         t_stream = stream_bytes / bw
 
         # --- random-access latency ---------------------------------------
-        t_latency = self._latency_time(machine, sig, n, spill, cap_scale=satq)
-        t_latency *= outcome.latency_multiplier
+        t_latency = self._latency_time_grid(machine, sig, ns, spill, cap_scale=satq)
+        t_latency = t_latency * outcome.latency_multiplier
 
         # --- synchronisation ----------------------------------------------
         n_barriers = sig.comm.barriers_per_mop * sig.total_mops
-        t_sync = n_barriers * machine.barrier_cost_s(n)
+        t_sync = n_barriers * machine.barrier_cost_s_grid(ns)
 
-        total = max(t_compute, t_stream) + t_latency + t_sync
+        total = np.maximum(t_compute, t_stream) + t_latency + t_sync
         return {
             "total": total,
             "compute": t_compute,
@@ -248,22 +325,35 @@ class PerformanceModel:
         return 1.0 - (1.0 - 0.02) * (ratio - 0.6) / 0.4
 
     @staticmethod
-    def _effective_threads(sig: KernelSignature, machine: Machine, n: int) -> float:
-        """Amdahl + load-imbalance + machine-side derating of thread count."""
-        if n == 1:
-            return 1.0
-        amdahl = n / (1.0 + sig.serial_fraction * (n - 1))
-        imbalance = max(0.5, 1.0 - sig.imbalance_coeff * math.log2(n))
-        # NUMA remote-touch penalties only bite kernels that touch DRAM.
-        numa_sensitive = sig.dram_bytes_per_op > 0.3
-        return (
-            amdahl
-            * imbalance
-            * machine.parallel_efficiency(n, numa_sensitive=numa_sensitive)
-        )
+    def _spill_fraction_grid(working_set: float, cache_bytes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_spill_fraction` over an array of capacities."""
+        if working_set <= 0:
+            raise ValueError("working_set must be positive")
+        ratio = cache_bytes / working_set
+        trans = 1.0 - (1.0 - 0.02) * (ratio - 0.6) / 0.4
+        return np.where(ratio >= 1.0, 0.02, np.where(ratio <= 0.6, 1.0, trans))
 
     @staticmethod
-    def _communication_bytes(sig: KernelSignature, machine: Machine, n: int) -> float:
+    def _effective_threads_grid(
+        sig: KernelSignature, machine: Machine, ns: np.ndarray
+    ) -> np.ndarray:
+        """Amdahl + load-imbalance + machine-side derating of thread counts."""
+        nsf = ns.astype(np.float64)
+        amdahl = nsf / (1.0 + sig.serial_fraction * (nsf - 1.0))
+        imbalance = np.maximum(0.5, 1.0 - sig.imbalance_coeff * np.log2(nsf))
+        # NUMA remote-touch penalties only bite kernels that touch DRAM.
+        numa_sensitive = sig.dram_bytes_per_op > 0.3
+        res = (
+            amdahl
+            * imbalance
+            * machine.parallel_efficiency_grid(ns, numa_sensitive=numa_sensitive)
+        )
+        return np.where(ns == 1, 1.0, res)
+
+    @staticmethod
+    def _communication_bytes_grid(
+        sig: KernelSignature, machine: Machine, ns: np.ndarray
+    ) -> np.ndarray:
         """Inter-thread traffic, which on a shared-memory chip is memory
         traffic.
 
@@ -273,24 +363,24 @@ class PerformanceModel:
         transpose volume is essentially constant in n (every element moves
         once) but pays a NUMA factor when threads span regions.
         """
-        if n == 1:
-            return 0.0
+        nsf = ns.astype(np.float64)
         ref = machine.n_cores
-        neighbour = sig.comm.neighbour_bytes * sig.total_ops * (n / ref) ** (2.0 / 3.0)
-        numa_factor = 1.0
-        if machine.topology.numa_regions > 1 and n > machine.topology.cores_per_numa:
-            numa_factor = 1.25
+        neighbour = sig.comm.neighbour_bytes * sig.total_ops * (nsf / ref) ** (2.0 / 3.0)
+        if machine.topology.numa_regions > 1:
+            numa_factor = np.where(ns > machine.topology.cores_per_numa, 1.25, 1.0)
+        else:
+            numa_factor = 1.0
         alltoall = sig.comm.alltoall_bytes * sig.total_ops * numa_factor
-        return neighbour + alltoall
+        return np.where(ns == 1, 0.0, neighbour + alltoall)
 
     @staticmethod
-    def _latency_time(
+    def _latency_time_grid(
         machine: Machine,
         sig: KernelSignature,
-        n: int,
-        spill: float,
+        ns: np.ndarray,
+        spill: np.ndarray,
         cap_scale: float = 1.0,
-    ) -> float:
+    ) -> np.ndarray:
         """Random-access (latency-bound) time, serviced hierarchically.
 
         The randomly-accessed structure (``sig.random_target_bytes``) is
@@ -309,8 +399,9 @@ class PerformanceModel:
         """
         total = sig.total_random_accesses * (1.0 - sig.latency_hidden_fraction)
         if total <= 0.0:
-            return 0.0
+            return np.zeros(ns.shape, dtype=np.float64)
 
+        nsf = ns.astype(np.float64)
         target = sig.effective_random_target_bytes
         mlp = machine.memory.core_mlp * sig.gather_mlp_factor
         sharp = machine.memory.saturation_sharpness
@@ -328,33 +419,33 @@ class PerformanceModel:
             machine.n_cores // machine.cores_sharing(llc)
         )
         fit_llc = max(fit_mid, 0.98 * min(1.0, llc_agg / target))
-        frac_dram = max(1.0 - fit_llc, 0.02 * spill + (1.0 - spill) * 0.0)
-        frac_llc = max(0.0, 1.0 - fit_mid - frac_dram)
-        frac_mid = max(0.0, 1.0 - frac_llc - frac_dram)
+        frac_dram = np.maximum(1.0 - fit_llc, 0.02 * spill + (1.0 - spill) * 0.0)
+        frac_llc = np.maximum(0.0, 1.0 - fit_mid - frac_dram)
+        frac_mid = np.maximum(0.0, 1.0 - frac_llc - frac_dram)
 
-        time = 0.0
-        if frac_mid > 0.0 and mid is not None:
+        # Zero fractions contribute exactly 0.0 to the sum, matching the
+        # scalar model's if-gated accumulation term for term.
+        time = np.zeros(ns.shape, dtype=np.float64)
+        if mid is not None:
             lat_s = mid.latency_cycles / ghz * 1e-9
-            demand = n * mlp / lat_s
+            demand = nsf * mlp / lat_s
             # One line every ~3 cycles per L2 instance.
             sharers = machine.cores_sharing(mid)
-            instances = -(-n // sharers)
+            instances = -(-ns // sharers)
             cap = instances * machine.clock_hz / 3.0
-            time += frac_mid * total / smoothmin(demand, cap, sharp)
-        if frac_llc > 0.0:
-            lat_s = llc.latency_cycles / ghz * 1e-9
-            demand = n * mlp / lat_s
-            cap = (
-                machine.memory.random_rate_cap()
-                * machine.memory.llc_random_boost
-                * cap_scale
-            )
-            time += frac_llc * total / smoothmin(demand, cap, sharp)
-        if frac_dram > 0.0:
-            lat_s = machine.memory.idle_latency_ns * 1e-9
-            demand = n * mlp / lat_s
-            cap = machine.memory.random_rate_cap() * cap_scale
-            time += frac_dram * total / smoothmin(demand, cap, sharp)
+            time = time + frac_mid * total / smoothmin_grid(demand, cap, sharp)
+        lat_s = llc.latency_cycles / ghz * 1e-9
+        demand = nsf * mlp / lat_s
+        cap = (
+            machine.memory.random_rate_cap()
+            * machine.memory.llc_random_boost
+            * cap_scale
+        )
+        time = time + frac_llc * total / smoothmin_grid(demand, cap, sharp)
+        lat_s = machine.memory.idle_latency_ns * 1e-9
+        demand = nsf * mlp / lat_s
+        cap = machine.memory.random_rate_cap() * cap_scale
+        time = time + frac_dram * total / smoothmin_grid(demand, cap, sharp)
         return time
 
     # ------------------------------------------------------------------

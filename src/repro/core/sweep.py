@@ -1,0 +1,336 @@
+"""Batched sweep engine: grid expansion, memoisation, parallel execution.
+
+The paper's methodology is one large cross-product sweep -- machines x
+kernels x classes x thread counts x compilers x vectorisation -- and every
+table and figure regenerator walks some slice of that grid.  This module
+turns those walks into batch jobs:
+
+* :func:`expand_grid` expands axis tuples into a deduplicated, ordered
+  list of :class:`ExperimentConfig`.
+* :class:`SweepEngine` executes config batches through
+  :meth:`ExperimentRunner.run_many` (one vectorised model evaluation per
+  thread-sweep family), optionally across a thread pool, and memoises
+  every :class:`ExperimentResult` keyed by the exact seed/config tuple so
+  repeated regenerators hit cache.
+
+Determinism: the runner keys its noise stream per config (sha256 of seed
+and config fields), so results are independent of execution order --
+parallel, serial, cached and one-at-a-time runs are byte-identical.
+
+Caching vs reproducibility: a cache hit returns the very object a cold
+run would have computed, because everything that influences a result
+(runner seed, noise level, calibration flag, config fields) is part of
+the cache key.  :func:`clear_caches` evicts every process-wide cache if
+isolation is ever needed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from .experiment import DEFAULT_RUNS, ExperimentConfig, ExperimentRunner
+from .perfmodel import DNRError
+from .results import ExperimentResult
+
+__all__ = [
+    "SweepEngine",
+    "expand_grid",
+    "paper_vectorise",
+    "default_engine",
+    "set_default_jobs",
+    "clear_caches",
+]
+
+
+def paper_vectorise(kernel: str) -> bool:
+    """The paper's per-kernel vectorisation default.
+
+    CG's indexed gathers are a vectorisation pathology on every machine
+    in the study, so the harness compiles it scalar; everything else is
+    auto-vectorised at ``-O3``.
+    """
+    return kernel != "cg"
+
+
+def _axis(value) -> tuple:
+    if value is None or isinstance(value, (str, int, bool)):
+        return (value,)
+    return tuple(value)
+
+
+def expand_grid(
+    machines,
+    kernels,
+    classes="C",
+    thread_counts=1,
+    compilers=None,
+    vectorise=None,
+    runs: int = DEFAULT_RUNS,
+) -> list[ExperimentConfig]:
+    """Expand axis values into a deduplicated list of configs.
+
+    Every axis accepts a single value or an iterable.  ``vectorise=None``
+    (the default) selects the paper's per-kernel setting via
+    :func:`paper_vectorise`; ``compilers=None`` keeps each machine's
+    paper-default compiler.  Order is the natural nested-loop order
+    (machines outermost, vectorise innermost) with later duplicates
+    dropped.
+    """
+    out: list[ExperimentConfig] = []
+    seen: set[ExperimentConfig] = set()
+    for machine in _axis(machines):
+        for kernel in _axis(kernels):
+            for npb_class in _axis(classes):
+                for n_threads in _axis(thread_counts):
+                    for compiler in _axis(compilers):
+                        for vec in _axis(vectorise):
+                            config = ExperimentConfig(
+                                machine=machine,
+                                kernel=kernel,
+                                npb_class=npb_class,
+                                n_threads=n_threads,
+                                compiler=compiler,
+                                vectorise=(
+                                    paper_vectorise(kernel) if vec is None else vec
+                                ),
+                                runs=runs,
+                            )
+                            if config not in seen:
+                                seen.add(config)
+                                out.append(config)
+    return out
+
+
+class SweepEngine:
+    """Memoising, optionally parallel front-end over an ExperimentRunner.
+
+    Parameters
+    ----------
+    runner:
+        The runner to execute through (a default calibrated runner when
+        omitted).
+    jobs:
+        Worker threads for batch execution.  ``None`` reads the
+        ``REPRO_JOBS`` environment variable, falling back to
+        ``min(8, cpu_count)``.  ``1`` forces serial execution.
+
+    Results are memoised per exact (seed, noise, calibration, config)
+    tuple; "Did Not Run" configurations cache their :class:`DNRError`
+    the same way, so a grid with DNR holes is still cheap to re-expand.
+    """
+
+    def __init__(
+        self, runner: ExperimentRunner | None = None, jobs: int | None = None
+    ) -> None:
+        self.runner = runner or ExperimentRunner()
+        self.jobs = self._resolve_jobs(jobs)
+        self._results: dict[tuple, ExperimentResult | DNRError] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _resolve_jobs(jobs: int | None) -> int:
+        if jobs is None:
+            env = os.environ.get("REPRO_JOBS")
+            if env is not None:
+                jobs = int(env)
+            else:
+                jobs = min(8, os.cpu_count() or 1)
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        return jobs
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def cache_key(self, config: ExperimentConfig) -> tuple:
+        """Everything that can influence this config's result."""
+        runner = self.runner
+        return (
+            runner.seed,
+            runner.noise_cv,
+            runner.model.calibrate,
+            config.machine,
+            config.kernel,
+            config.npb_class,
+            config.n_threads,
+            config.resolved_compiler(),
+            config.vectorise,
+            config.runs,
+        )
+
+    def clear_cache(self) -> None:
+        """Evict all memoised results (and reset the hit/miss counters)."""
+        with self._lock:
+            self._results.clear()
+            self.hits = 0
+            self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_many(
+        self,
+        configs: Sequence[ExperimentConfig],
+        on_dnr: str = "raise",
+    ) -> list[ExperimentResult | None]:
+        """Execute a batch, memoised and (for cold work) parallelised.
+
+        Cold configs are grouped into thread-sweep families (identical in
+        everything but ``n_threads``) so each family is one batched model
+        evaluation; families execute on a thread pool when more than one
+        is pending and ``jobs > 1``, with a silent serial fallback if the
+        pool cannot start.  Output order always matches input order.
+
+        ``on_dnr`` controls "Did Not Run" configs: ``"raise"`` propagates
+        the :class:`DNRError`, ``"none"`` yields ``None`` in that slot
+        (what the table renderers want for DNR cells).
+        """
+        if on_dnr not in ("raise", "none"):
+            raise ValueError(f"on_dnr must be 'raise' or 'none', got {on_dnr!r}")
+        configs = list(configs)
+        keys = [self.cache_key(c) for c in configs]
+
+        pending: dict[tuple, ExperimentConfig] = {}
+        with self._lock:
+            for key, config in zip(keys, configs):
+                if key in self._results:
+                    self.hits += 1
+                elif key not in pending:
+                    self.misses += 1
+                    pending[key] = config
+                else:
+                    self.hits += 1
+
+        if pending:
+            families: dict[tuple, list[ExperimentConfig]] = {}
+            for config in pending.values():
+                fam = (
+                    config.machine,
+                    config.kernel,
+                    config.npb_class,
+                    config.resolved_compiler(),
+                    config.vectorise,
+                    config.runs,
+                )
+                families.setdefault(fam, []).append(config)
+            groups = list(families.values())
+            self._execute_groups(groups)
+
+        out: list[ExperimentResult | None] = []
+        with self._lock:
+            for key in keys:
+                value = self._results[key]
+                if isinstance(value, DNRError):
+                    if on_dnr == "raise":
+                        raise value
+                    out.append(None)
+                else:
+                    out.append(value)
+        return out
+
+    def _execute_groups(self, groups: list[list[ExperimentConfig]]) -> None:
+        if self.jobs > 1 and len(groups) > 1:
+            try:
+                workers = min(self.jobs, len(groups))
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    list(pool.map(self._execute_group, groups))
+                return
+            except (RuntimeError, OSError):
+                # Thread-starved environments (no spare OS threads, or an
+                # interpreter at shutdown) fall back to serial execution.
+                pass
+        for group in groups:
+            self._execute_group(group)
+
+    def _execute_group(self, group: list[ExperimentConfig]) -> None:
+        """Run one thread-sweep family and store its results (or its DNR)."""
+        try:
+            results = self.runner.run_many(group)
+        except DNRError as exc:
+            # DNR is a property of (machine, kernel, class), independent of
+            # thread count -- the whole family shares the verdict.
+            with self._lock:
+                for config in group:
+                    self._results[self.cache_key(config)] = exc
+            return
+        with self._lock:
+            for config, result in zip(group, results):
+                self._results[self.cache_key(config)] = result
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Memoised single-config execution (raises on DNR, like the runner)."""
+        return self.run_many([config], on_dnr="raise")[0]
+
+    def try_run(self, config: ExperimentConfig) -> ExperimentResult | None:
+        """Like :meth:`run` but returns ``None`` for DNR configs."""
+        return self.run_many([config], on_dnr="none")[0]
+
+    def sweep_threads(
+        self, config: ExperimentConfig, thread_counts: Iterable[int]
+    ) -> list[ExperimentResult]:
+        """Memoised thread-count sweep (one figure line in the paper)."""
+        return self.run_many(
+            [config.with_threads(n) for n in thread_counts]
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default engine (what the harness and CLI share)
+# ----------------------------------------------------------------------
+
+_default_engine: SweepEngine | None = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> SweepEngine:
+    """The shared engine the table/figure regenerators execute through.
+
+    Sharing one engine means regenerating Table 3 warms the cache for
+    Table 4's identical single-thread column, and the figures reuse both.
+    """
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = SweepEngine()
+        return _default_engine
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set worker-thread count on the shared engine (the ``--jobs`` flag)."""
+    engine = default_engine()
+    engine.jobs = SweepEngine._resolve_jobs(jobs)
+
+
+def clear_caches() -> None:
+    """Evict every process-wide cache this package maintains.
+
+    Covers the default engine's memoised results, the performance model's
+    calibration anchors, the CG system-matrix and cachesim trace caches,
+    and the memoised machine/compiler/signature getters.  Mainly a test
+    and long-lived-process escape hatch: caches never go stale in normal
+    use because every key captures all inputs.
+    """
+    from repro.cachesim.trace import clear_trace_cache
+    from repro.compilers.gcc import default_compiler_for, get_compiler
+    from repro.machines.catalog import get_machine
+    from repro.npb.cg import clear_matrix_cache
+    from repro.npb.signatures import signature_for
+
+    with _default_lock:
+        engine = _default_engine
+    if engine is not None:
+        engine.clear_cache()
+        engine.runner.model.clear_cache()
+    clear_matrix_cache()
+    clear_trace_cache()
+    signature_for.cache_clear()
+    get_machine.cache_clear()
+    get_compiler.cache_clear()
+    default_compiler_for.cache_clear()

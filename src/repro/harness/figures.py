@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.experiment import ExperimentConfig
+from repro.core.sweep import default_engine, paper_vectorise
 from repro.machines.catalog import PAPER_HPC_MACHINES, get_machine
 from repro.stream.stream import modelled_bandwidth
 
@@ -103,29 +104,32 @@ def figure1() -> FigureResult:
 
 
 def _kernel_scaling_figure(number: int, kernel: str, caption: str) -> FigureResult:
-    runner = ExperimentRunner()
     fig = FigureResult(
         number=number,
         title=caption,
         x_label="threads",
         y_label="Mop/s",
     )
-    vectorise = kernel != "cg"  # the paper's Section 6 exception
+    vectorise = paper_vectorise(kernel)  # the paper's Section 6 exception
+    # One flat batch: each machine's sweep is a single vectorised model
+    # evaluation, and the sweeps run in parallel across machines.
+    configs = [
+        ExperimentConfig(
+            machine=machine,
+            kernel=kernel,
+            npb_class="C",
+            n_threads=n,
+            vectorise=vectorise,
+        )
+        for machine in PAPER_HPC_MACHINES
+        for n in _sweep_for(machine)
+    ]
+    results = iter(default_engine().run_many(configs))
     for machine in PAPER_HPC_MACHINES:
         label = get_machine(machine).label
-        pts = []
-        for n in _sweep_for(machine):
-            res = runner.run(
-                ExperimentConfig(
-                    machine=machine,
-                    kernel=kernel,
-                    npb_class="C",
-                    n_threads=n,
-                    vectorise=vectorise,
-                )
-            )
-            pts.append((n, res.mean_mops))
-        fig.series[label] = pts
+        fig.series[label] = [
+            (n, next(results).mean_mops) for n in _sweep_for(machine)
+        ]
     return fig
 
 

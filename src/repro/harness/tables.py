@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cachesim.stats import table1_profile
-from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.experiment import ExperimentConfig
 from repro.core.metrics import percent_of, times_faster
-from repro.core.perfmodel import DNRError
+from repro.core.sweep import SweepEngine, default_engine, expand_grid, paper_vectorise
 from repro.machines.catalog import (
     PAPER_RISCV_BOARDS,
     all_machines,
@@ -58,12 +58,8 @@ class TableResult:
         return render_csv(self.headers, self.rows)
 
 
-def _runner(runs: int = 5) -> ExperimentRunner:
-    return ExperimentRunner()
-
-
 def _mops(
-    runner: ExperimentRunner,
+    engine: SweepEngine,
     machine: str,
     kernel: str,
     npb_class: str,
@@ -71,23 +67,25 @@ def _mops(
     compiler: str | None = None,
     vectorise: bool | None = None,
 ) -> float | None:
-    """Mean Mop/s for a configuration, or None for a DNR."""
+    """Mean Mop/s for a configuration, or None for a DNR.
+
+    The prefetch in each table builder has already batch-executed the
+    table's whole grid, so these per-cell calls are cache hits.
+    """
     if vectorise is None:
         # The paper disables vectorisation for CG (Section 6 pathology).
-        vectorise = kernel != "cg"
-    try:
-        return runner.run(
-            ExperimentConfig(
-                machine=machine,
-                kernel=kernel,
-                npb_class=npb_class,
-                n_threads=n_threads,
-                compiler=compiler,
-                vectorise=vectorise,
-            )
-        ).mean_mops
-    except DNRError:
-        return None
+        vectorise = paper_vectorise(kernel)
+    result = engine.try_run(
+        ExperimentConfig(
+            machine=machine,
+            kernel=kernel,
+            npb_class=npb_class,
+            n_threads=n_threads,
+            compiler=compiler,
+            vectorise=vectorise,
+        )
+    )
+    return None if result is None else result.mean_mops
 
 
 # ----------------------------------------------------------------------
@@ -120,14 +118,18 @@ def table1(n_accesses: int = 60_000) -> TableResult:
 
 def table2() -> TableResult:
     """Single-core RISC-V comparison, class B (incl. the D1's FT DNR)."""
-    runner = _runner()
+    engine = default_engine()
+    engine.run_many(
+        expand_grid(PAPER_RISCV_BOARDS, paper.KERNELS, classes="B", thread_counts=1),
+        on_dnr="none",
+    )
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
-        ref = _mops(runner, "sg2044", kernel, "B", 1)
+        ref = _mops(engine, "sg2044", kernel, "B", 1)
         assert ref is not None
         row: list[object] = [kernel.upper()]
         for machine in PAPER_RISCV_BOARDS:
-            mops = _mops(runner, machine, kernel, "B", 1)
+            mops = _mops(engine, machine, kernel, "B", 1)
             row.append(mops)
             if machine != "sg2044":
                 row.append(
@@ -148,11 +150,14 @@ def table2() -> TableResult:
 
 def table3() -> TableResult:
     """SG2044 vs SG2042, single core, class C."""
-    runner = _runner()
+    engine = default_engine()
+    engine.run_many(
+        expand_grid(("sg2044", "sg2042"), paper.KERNELS, classes="C", thread_counts=1)
+    )
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
-        a = _mops(runner, "sg2044", kernel, "C", 1)
-        b = _mops(runner, "sg2042", kernel, "C", 1)
+        a = _mops(engine, "sg2044", kernel, "C", 1)
+        b = _mops(engine, "sg2042", kernel, "C", 1)
         assert a is not None and b is not None
         pa, pb = paper.TABLE3[kernel]
         rows.append(
@@ -168,11 +173,14 @@ def table3() -> TableResult:
 
 def table4() -> TableResult:
     """SG2044 vs SG2042, 64 cores, class C (the 1.52x-4.91x headline)."""
-    runner = _runner()
+    engine = default_engine()
+    engine.run_many(
+        expand_grid(("sg2044", "sg2042"), paper.KERNELS, classes="C", thread_counts=64)
+    )
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
-        a = _mops(runner, "sg2044", kernel, "C", 64)
-        b = _mops(runner, "sg2042", kernel, "C", 64)
+        a = _mops(engine, "sg2044", kernel, "C", 64)
+        b = _mops(engine, "sg2042", kernel, "C", 64)
         assert a is not None and b is not None
         pa, pb = paper.TABLE4[kernel]
         rows.append(
@@ -212,19 +220,33 @@ def table5() -> TableResult:
 
 def table6() -> TableResult:
     """Pseudo-app relative runtimes vs the SG2044 at 16/26/32/64 cores."""
-    runner = _runner()
+    engine = default_engine()
     rows: list[list[object]] = []
     machines = ("sg2042", "epyc7742", "skylake8170", "thunderx2")
+    grid = [
+        ExperimentConfig(
+            machine=m,
+            kernel=app,
+            npb_class="C",
+            n_threads=cores,
+            vectorise=paper_vectorise(app),
+        )
+        for app in paper.PSEUDO_APPS
+        for cores in (16, 26, 32, 64)
+        for m in ("sg2044",) + machines
+        if cores <= get_machine(m).n_cores
+    ]
+    engine.run_many(grid, on_dnr="none")
     for app in paper.PSEUDO_APPS:
         for cores in (16, 26, 32, 64):
-            base = _mops(runner, "sg2044", app, "C", cores)
+            base = _mops(engine, "sg2044", app, "C", cores)
             assert base is not None
             row: list[object] = [app.upper(), cores]
             for m in machines:
                 if cores > get_machine(m).n_cores:
                     row += [None, paper.TABLE6[app][cores][m]]
                     continue
-                mops = _mops(runner, m, app, "C", cores)
+                mops = _mops(engine, m, app, "C", cores)
                 ratio = None if mops is None else times_faster(mops, base)
                 row += [ratio, paper.TABLE6[app][cores][m]]
             rows.append(row)
@@ -241,19 +263,35 @@ def table6() -> TableResult:
 
 
 def _compiler_table(number: int, n_threads: int, paper_table) -> TableResult:
-    runner = _runner()
+    engine = default_engine()
+    combos = (("gcc-12.3.1", True), ("gcc-15.2", True), ("gcc-15.2", False))
+    engine.run_many(
+        [
+            ExperimentConfig(
+                machine="sg2044",
+                kernel=kernel,
+                npb_class="C",
+                n_threads=n_threads,
+                compiler=compiler,
+                vectorise=vec,
+            )
+            for kernel in paper.KERNELS
+            for compiler, vec in combos
+        ],
+        on_dnr="none",
+    )
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
         old = _mops(
-            runner, "sg2044", kernel, "C", n_threads,
+            engine, "sg2044", kernel, "C", n_threads,
             compiler="gcc-12.3.1", vectorise=True,
         )
         vec = _mops(
-            runner, "sg2044", kernel, "C", n_threads,
+            engine, "sg2044", kernel, "C", n_threads,
             compiler="gcc-15.2", vectorise=True,
         )
         novec = _mops(
-            runner, "sg2044", kernel, "C", n_threads,
+            engine, "sg2044", kernel, "C", n_threads,
             compiler="gcc-15.2", vectorise=False,
         )
         p = paper_table[kernel]

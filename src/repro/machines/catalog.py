@@ -519,8 +519,14 @@ def _catalog() -> dict[str, Machine]:
     return _build_catalog()
 
 
+@lru_cache(maxsize=None)
 def get_machine(name: str) -> Machine:
-    """Look up a machine by its catalog name (see module docstring)."""
+    """Look up a machine by its catalog name (see module docstring).
+
+    Memoised: every harness layer resolves machines by name on each call,
+    so the lookup (and its KeyError formatting path) stays off sweeps'
+    hot path.  Machines are frozen dataclasses, safe to share.
+    """
     try:
         return _catalog()[name]
     except KeyError:

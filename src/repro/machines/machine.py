@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .cpu import CacheLevel, CacheSharing, CoreModel
 from .memory import MemorySubsystem
 from .topology import Topology
@@ -146,6 +148,25 @@ class Machine:
             total += cache.size_bytes / sharers
         return total
 
+    def effective_cache_bytes_per_thread_grid(self, ns: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`effective_cache_bytes_per_thread` over ``ns``.
+
+        Elementwise identical to the scalar method; this is the form the
+        batched performance model evaluates whole thread sweeps with.
+        """
+        if ns.size and not (1 <= int(ns.min()) and int(ns.max()) <= self.n_cores):
+            raise ValueError(f"thread counts {ns} out of range for {self.name}")
+        total = np.zeros(ns.shape, dtype=np.float64)
+        for cache in self.caches:
+            if cache.sharing is CacheSharing.CLUSTER:
+                sharers = np.minimum(self.topology.cores_per_cluster, ns)
+            elif cache.sharing is CacheSharing.CHIP:
+                sharers = ns
+            else:
+                sharers = np.ones_like(ns)
+            total += cache.size_bytes / sharers
+        return total
+
     # ------------------------------------------------------------------
     # Whole-chip rate helpers used by the performance model
     # ------------------------------------------------------------------
@@ -162,6 +183,14 @@ class Machine:
             return 0.0
         ns = self.barrier_base_ns + self.barrier_log_coeff_ns * math.log2(n_threads)
         return ns * 1e-9
+
+    def barrier_cost_s_grid(self, ns: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`barrier_cost_s` over an array of thread counts."""
+        if ns.size and int(ns.min()) < 1:
+            raise ValueError("n_threads must be >= 1")
+        nsf = ns.astype(np.float64)
+        cost = (self.barrier_base_ns + self.barrier_log_coeff_ns * np.log2(nsf)) * 1e-9
+        return np.where(ns == 1, 0.0, cost)
 
     def parallel_efficiency(self, n_threads: int, numa_sensitive: bool = True) -> float:
         """Machine-side thread-scaling derating.
@@ -188,6 +217,20 @@ class Machine:
         ):
             eff *= self.numa_penalty
         return eff
+
+    def parallel_efficiency_grid(
+        self, ns: np.ndarray, numa_sensitive: bool = True
+    ) -> np.ndarray:
+        """Vectorised :meth:`parallel_efficiency` over an array of counts."""
+        if ns.size and int(ns.min()) < 1:
+            raise ValueError("n_threads must be >= 1")
+        nsf = ns.astype(np.float64)
+        eff = np.maximum(0.4, 1.0 - self.os_noise_coeff * np.log2(nsf))
+        if numa_sensitive and self.topology.numa_regions > 1:
+            eff = np.where(
+                ns > self.topology.cores_per_numa, eff * self.numa_penalty, eff
+            )
+        return np.where(ns == 1, 1.0, eff)
 
     def validate_thread_count(self, n_threads: int) -> None:
         if not 1 <= n_threads <= self.n_cores:

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .ddr import DDRSpec
 
 __all__ = [
     "smoothmin",
+    "smoothmin_grid",
     "MemorySubsystem",
 ]
 
@@ -53,6 +56,26 @@ def smoothmin(demand: float, cap: float, sharpness: float = 4.0) -> float:
         raise ValueError("sharpness must be >= 1")
     if demand == 0.0:
         return 0.0
+    ratio = demand / cap
+    return demand / (1.0 + ratio**sharpness) ** (1.0 / sharpness)
+
+
+def smoothmin_grid(
+    demand: np.ndarray, cap: np.ndarray | float, sharpness: float = 4.0
+) -> np.ndarray:
+    """Vectorised :func:`smoothmin` over arrays of demands (and caps).
+
+    ``demand`` and ``cap`` broadcast against each other; the result is
+    elementwise identical to calling the scalar form point by point, which
+    is what lets the batched performance model match per-call prediction
+    bit for bit.
+    """
+    demand = np.asarray(demand, dtype=np.float64)
+    cap = np.asarray(cap, dtype=np.float64)
+    if np.any(demand < 0) or np.any(cap <= 0):
+        raise ValueError("demand must be >= 0 and cap > 0")
+    if sharpness < 1.0:
+        raise ValueError("sharpness must be >= 1")
     ratio = demand / cap
     return demand / (1.0 + ratio**sharpness) ** (1.0 / sharpness)
 

@@ -19,21 +19,35 @@ Section 6 RVV vectorisation anomaly.
 
 from __future__ import annotations
 
+import threading
+from functools import lru_cache
+
 import numpy as np
 import scipy.sparse as sp
 
 from .common import BenchmarkResult, NPBClass, Timer
 from .params import CGParams, cg_params
 
-__all__ = ["run_cg", "make_matrix", "conj_grad", "power_method"]
+__all__ = [
+    "run_cg",
+    "make_matrix",
+    "clear_matrix_cache",
+    "conj_grad",
+    "power_method",
+]
 
 _AMULT = 1220703125
 _MASK46 = (1 << 46) - 1
+_MASK23 = (1 << 23) - 1
 _TWO46 = float(1 << 46)
+_RANDLC_BLOCK = 1024
 
 
 class _ScalarRandlc:
-    """Python-int randlc stream (fast enough for makea's scalar calls)."""
+    """Python-int randlc stream (the reference implementation).
+
+    Kept as the ground truth the batched stream is tested against.
+    """
 
     __slots__ = ("x",)
 
@@ -44,38 +58,145 @@ class _ScalarRandlc:
         self.x = (_AMULT * self.x) & _MASK46
         return self.x / _TWO46
 
+    def draw(self, k: int) -> np.ndarray:
+        return np.array([self.next() for _ in range(k)], dtype=np.float64)
 
-def _sprnvc(rng: _ScalarRandlc, n: int, nz: int, nn1: int) -> tuple[list, list]:
+
+@lru_cache(maxsize=1)
+def _randlc_jump_table() -> tuple[np.ndarray, np.ndarray]:
+    """23-bit halves of the jump multipliers ``a^(i+1) mod 2^46``.
+
+    With these, a whole block of randlc states follows from one state by
+    elementwise modular multiplication -- no sequential dependency.
+    """
+    mults = np.empty(_RANDLC_BLOCK, dtype=np.uint64)
+    m = 1
+    for i in range(_RANDLC_BLOCK):
+        m = (m * _AMULT) & _MASK46
+        mults[i] = m
+    return mults >> np.uint64(23), mults & np.uint64(_MASK23)
+
+
+class _BatchedRandlc:
+    """randlc stream generated in vectorised blocks via precomputed jumps.
+
+    Produces the exact sequence of :class:`_ScalarRandlc` under any mix of
+    ``next()`` and ``draw(k)`` calls.  ``x`` always holds the state of the
+    most recently *consumed* value, so a fresh instance seeded from ``x``
+    continues the stream exactly (what the matrix cache relies on).
+
+    The 46-bit modular products are formed in uint64 from 23-bit halves:
+    with ``a^i = hi * 2^23 + lo`` and ``x = x1 * 2^23 + x0``,
+    ``a^i * x mod 2^46 = (((hi*x0 + lo*x1) mod 2^23) << 23) + lo*x0``,
+    every intermediate staying below 2^47.
+    """
+
+    __slots__ = ("x", "_states", "_values", "_pos")
+
+    def __init__(self, seed: int = 314159265) -> None:
+        self.x = seed
+        self._states = np.empty(0, dtype=np.uint64)
+        self._values = np.empty(0, dtype=np.float64)
+        self._pos = 0
+
+    def _refill(self, k: int) -> None:
+        # Only called with the buffer exhausted, so self.x is the
+        # generation frontier.
+        hi, lo = _randlc_jump_table()
+        m = min(max(k, 256), _RANDLC_BLOCK)
+        x0 = np.uint64(self.x & _MASK23)
+        x1 = np.uint64(self.x >> 23)
+        t = (hi[:m] * x0 + lo[:m] * x1) & np.uint64(_MASK23)
+        states = ((t << np.uint64(23)) + lo[:m] * x0) & np.uint64(_MASK46)
+        self._states = states
+        self._values = states.astype(np.float64) / _TWO46
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos >= len(self._states):
+            self._refill(1)
+        v = self._values[self._pos]
+        self.x = int(self._states[self._pos])
+        self._pos += 1
+        return float(v)
+
+    def draw(self, k: int) -> np.ndarray:
+        """The next ``k`` stream values as one array."""
+        out = np.empty(k, dtype=np.float64)
+        filled = 0
+        while filled < k:
+            if self._pos >= len(self._states):
+                self._refill(k - filled)
+            take = min(k - filled, len(self._states) - self._pos)
+            out[filled : filled + take] = self._values[self._pos : self._pos + take]
+            self._pos += take
+            self.x = int(self._states[self._pos - 1])
+            filled += take
+        return out
+
+
+def _sprnvc(rng, n: int, nz: int, nn1: int) -> tuple[list, list]:
     """NPB sprnvc: ``nz`` distinct random (value, index) pairs in [1, n].
 
     Index candidates come from ``int(vecloc * nn1) + 1`` with rejection of
     out-of-range and duplicate indices -- reproduced exactly so the
-    ``randlc`` stream advances like the reference code's.
+    ``randlc`` stream advances like the reference code's.  Draws come in
+    blocks of ``2 * (pairs still needed)`` -- the fewest the rejection
+    loop can consume, so the stream position always matches the
+    call-at-a-time reference.
     """
     values: list[float] = []
     indices: list[int] = []
     seen: set[int] = set()
     while len(values) < nz:
-        vecelt = rng.next()
-        vecloc = rng.next()
-        i = int(vecloc * nn1) + 1
-        if i > n or i in seen:
-            continue
-        seen.add(i)
-        values.append(vecelt)
-        indices.append(i)
+        block = rng.draw(2 * (nz - len(values)))
+        for vecelt, vecloc in zip(block[0::2].tolist(), block[1::2].tolist()):
+            i = int(vecloc * nn1) + 1
+            if i > n or i in seen:
+                continue
+            seen.add(i)
+            values.append(vecelt)
+            indices.append(i)
     return values, indices
 
 
-def make_matrix(params: CGParams) -> tuple[sp.csr_matrix, _ScalarRandlc]:
+_matrix_cache: dict[tuple, tuple[sp.csr_matrix, int]] = {}
+_matrix_lock = threading.Lock()
+
+
+def make_matrix(params: CGParams) -> tuple[sp.csr_matrix, _BatchedRandlc]:
     """NPB ``makea``: the random SPD matrix for one problem class.
 
     Returns the CSR matrix and the advanced ``randlc`` stream (the driver
     consumed one value for the initial ``zeta`` before ``makea``, exactly
     like the reference main program).
+
+    Generation is memoised per problem shape: a cache hit returns the
+    *same* CSR object (treat it as read-only) plus a fresh stream seeded
+    at exactly the state ``makea`` left it in, so downstream draws are
+    identical either way.  :func:`clear_matrix_cache` evicts.
     """
+    key = (params.n, params.nonzer, params.rcond, params.shift)
+    with _matrix_lock:
+        hit = _matrix_cache.get(key)
+    if hit is not None:
+        a, state = hit
+        return a, _BatchedRandlc(state)
+    a, rng = _make_matrix_uncached(params)
+    with _matrix_lock:
+        _matrix_cache[key] = (a, rng.x)
+    return a, rng
+
+
+def clear_matrix_cache() -> None:
+    """Drop all memoised ``makea`` matrices."""
+    with _matrix_lock:
+        _matrix_cache.clear()
+
+
+def _make_matrix_uncached(params: CGParams) -> tuple[sp.csr_matrix, _BatchedRandlc]:
     n, nonzer, rcond, shift = params.n, params.nonzer, params.rcond, params.shift
-    rng = _ScalarRandlc()
+    rng = _BatchedRandlc()
     rng.next()  # the driver's "zeta = randlc(tran, amult)" warm-up call
 
     nn1 = 1

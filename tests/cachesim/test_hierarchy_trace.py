@@ -107,3 +107,33 @@ class TestTable1Profile:
     def test_warmup_fraction_validated(self):
         with pytest.raises(ValueError):
             profile_kernel("is", warmup_fraction=1.0)
+
+
+class TestTraceCache:
+    def test_hit_returns_same_readonly_arrays(self):
+        from repro.cachesim.trace import build_trace, clear_trace_cache
+
+        clear_trace_cache()
+        a1, m1, s1 = build_trace("cg", n_accesses=4000, seed=3)
+        a2, m2, s2 = build_trace("cg", n_accesses=4000, seed=3)
+        assert a1 is a2 and m1 is m2 and s1 is s2
+        assert not a1.flags.writeable and not m1.flags.writeable
+
+    def test_distinct_keys_distinct_traces(self):
+        from repro.cachesim.trace import build_trace
+
+        a1, _, _ = build_trace("cg", n_accesses=4000, seed=3)
+        a3, _, _ = build_trace("cg", n_accesses=4000, seed=4)
+        assert a1 is not a3
+
+    def test_clear_evicts_and_rebuild_is_identical(self):
+        import numpy as np
+
+        from repro.cachesim.trace import build_trace, clear_trace_cache
+
+        clear_trace_cache()
+        a1, m1, _ = build_trace("ft", n_accesses=4000, seed=3)
+        clear_trace_cache()
+        a2, m2, _ = build_trace("ft", n_accesses=4000, seed=3)
+        assert a1 is not a2
+        assert np.array_equal(a1, a2) and np.array_equal(m1, m2)

@@ -79,3 +79,44 @@ class TestRunner:
     def test_bad_noise_cv_rejected(self):
         with pytest.raises(ValueError):
             ExperimentRunner(noise_cv=0.5)
+
+
+class TestBatchedNoiseSampling:
+    def test_matches_per_run_scalar_draws(self, noisy_runner):
+        """The vectorised lognormal draw reproduces the seed loop exactly."""
+        import hashlib
+
+        import numpy as np
+
+        config = ExperimentConfig(machine="sg2044", kernel="is", n_threads=64)
+        result = noisy_runner.run(config)
+
+        # Reference: the original per-run scalar-draw loop.
+        key = (
+            f"{noisy_runner.seed}|{config.machine}|{config.kernel}"
+            f"|{config.npb_class}|{config.n_threads}"
+            f"|{config.resolved_compiler()}|{config.vectorise}"
+        )
+        digest = hashlib.sha256(key.encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        cv = noisy_runner.noise_cv * (1.0 + 0.3 * np.log2(config.n_threads + 1))
+        expected = [
+            result.prediction.time_s * float(rng.lognormal(mean=0.0, sigma=cv))
+            for _ in range(config.runs)
+        ]
+        assert [s.time_s for s in result.samples] == expected
+
+
+class TestRunMany:
+    def test_groups_share_one_batched_prediction(self, runner):
+        configs = [
+            ExperimentConfig(machine=m, kernel=k, n_threads=n)
+            for m in ("sg2044", "sg2042")
+            for k in ("ep", "mg")
+            for n in (1, 8, 64)
+        ]
+        batched = runner.run_many(configs)
+        assert batched == [runner.run(c) for c in configs]
+
+    def test_empty(self, runner):
+        assert runner.run_many([]) == []

@@ -75,3 +75,47 @@ class TestRunCG:
         result = run_cg("W")
         assert result.verified
         assert result.details["zeta"] == pytest.approx(10.362595087124, abs=1e-10)
+
+
+class TestBatchedRandlc:
+    def test_stream_matches_scalar_reference(self):
+        from repro.npb.cg import _BatchedRandlc, _ScalarRandlc
+
+        scalar, batched = _ScalarRandlc(), _BatchedRandlc()
+        # Mixed next()/draw() patterns, including a draw larger than one
+        # refill block, must consume the identical stream.
+        for k in (1, 1, 7, 1500, 2, 1024, 3, 2500):
+            assert np.array_equal(scalar.draw(k), batched.draw(k))
+            assert scalar.x == batched.x
+        for _ in range(100):
+            assert scalar.next() == batched.next()
+        assert scalar.x == batched.x
+
+    def test_reseeding_from_x_continues_stream(self):
+        from repro.npb.cg import _BatchedRandlc
+
+        a = _BatchedRandlc()
+        a.draw(777)  # leave lookahead in the buffer
+        b = _BatchedRandlc(a.x)
+        assert np.array_equal(a.draw(50), b.draw(50))
+
+
+class TestMatrixCache:
+    def test_hit_returns_same_matrix_and_equivalent_stream(self):
+        from repro.npb.cg import clear_matrix_cache, make_matrix
+
+        clear_matrix_cache()
+        a1, rng1 = make_matrix(cg_params(NPBClass.S))
+        a2, rng2 = make_matrix(cg_params(NPBClass.S))
+        assert a1 is a2  # shared read-only artifact
+        assert np.array_equal(rng1.draw(64), rng2.draw(64))
+
+    def test_clear_evicts(self):
+        from repro.npb.cg import clear_matrix_cache, make_matrix
+
+        clear_matrix_cache()
+        a1, _ = make_matrix(cg_params(NPBClass.S))
+        clear_matrix_cache()
+        a2, _ = make_matrix(cg_params(NPBClass.S))
+        assert a1 is not a2
+        assert (a1 != a2).nnz == 0
