@@ -1,9 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full
+.PHONY: lint test bench bench-full
 
-test:
+# Repo-aware static analysis (R001-R005), then ruff/mypy when installed.
+lint:
+	$(PYTHON) -m repro lint --format json
+	@$(PYTHON) -c "import ruff" 2>/dev/null \
+		&& $(PYTHON) -m ruff check src tests benchmarks \
+		|| echo "ruff not installed; skipping"
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy src/repro \
+		|| echo "mypy not installed; skipping"
+
+test: lint
 	$(PYTHON) -m pytest -x -q
 
 # CI smoke: import-check and run every benchmark body once, no timing.

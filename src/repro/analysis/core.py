@@ -1,0 +1,291 @@
+"""Analysis core: source loading, suppression, rule protocol, driver.
+
+The framework is deliberately small: a :class:`SourceModule` wraps one
+parsed file (source text, AST, the per-line suppression table), rules
+declare a ``code``/``name``/``description`` and yield :class:`Finding`
+objects, and :func:`run_analysis` walks a file set through every rule and
+folds the results into an :class:`AnalysisReport` with stable exit-code
+semantics (0 clean, 1 findings, 2 unusable input).
+
+Suppression follows the repo-wide pragma convention::
+
+    engine = something_nondeterministic()  # repro: noqa[R001] -- why
+
+``# repro: noqa`` with no bracket suppresses every rule on that line.  A
+multi-line statement is suppressed by a pragma on *any* of its lines
+between the reported line and the end of the statement's first line span
+(practically: put it on the reported line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Rule",
+    "ProjectRule",
+    "AnalysisReport",
+    "run_analysis",
+    "iter_python_files",
+    "PARSE_ERROR_CODE",
+]
+
+#: Pseudo-rule code attached to findings for files that do not parse.
+PARSE_ERROR_CODE = "E001"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class SourceModule:
+    """One parsed Python source file plus its suppression table.
+
+    ``tree`` is ``None`` when the file does not parse; the driver emits a
+    :data:`PARSE_ERROR_CODE` finding instead of running rules over it.
+    """
+
+    def __init__(self, path: Path, text: str, display_path: str | None = None) -> None:
+        self.path = Path(path)
+        self.display_path = display_path or str(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: ast.Module | None = None
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self._noqa = self._scan_noqa()
+
+    @classmethod
+    def from_path(cls, path: Path, display_path: str | None = None) -> "SourceModule":
+        return cls(path, path.read_text(encoding="utf-8"), display_path)
+
+    # -- suppression ---------------------------------------------------
+
+    def _scan_noqa(self) -> dict[int, frozenset[str] | None]:
+        """Per-line suppressions: ``None`` means "all rules"."""
+        table: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _NOQA_RE.search(line)
+            if not m:
+                continue
+            codes = m.group("codes")
+            if codes is None:
+                table[lineno] = None
+            else:
+                table[lineno] = frozenset(
+                    c.strip().upper() for c in codes.split(",") if c.strip()
+                )
+        return table
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if line in self._noqa:
+            codes = self._noqa[line]
+            return codes is None or rule.upper() in codes
+        return False
+
+    # -- convenience ---------------------------------------------------
+
+    def finding(self, rule: str, node: ast.AST | int, message: str) -> Finding:
+        """Build a Finding anchored at an AST node (or a raw line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule, path=self.display_path, line=line, col=col,
+                       message=message)
+
+
+class Rule:
+    """A per-file rule.  Subclasses set the class attributes and implement
+    :meth:`check_module`."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finalize(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
+        """Hook run once after every module was checked (default: nothing)."""
+        return iter(())
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole file set (cross-file invariants).
+
+    Subclasses implement :meth:`check_project`; per-module checking is a
+    no-op by default but may be overridden for the local part of a rule.
+    """
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finalize(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
+        return self.check_project(modules)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings (incl. parse errors)."""
+        return 1 if self.findings else 0
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+            "by_rule": self.by_rule(),
+            "exit_code": self.exit_code,
+        }
+
+
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "build", "dist",
+              ".pytest_cache", ".mypy_cache", ".ruff_cache", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for p in candidates:
+            rp = p.resolve()
+            if rp not in seen:
+                seen.add(rp)
+                out.append(p)
+    return out
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            pass
+    return str(path)
+
+
+def run_analysis(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule],
+    root: Path | str | None = None,
+) -> AnalysisReport:
+    """Run ``rules`` over every Python file reachable from ``paths``.
+
+    ``root`` (when given) relativises reported paths, keeping output and
+    the JSON report stable across checkouts.
+    """
+    root_path = Path(root) if root is not None else None
+    files = iter_python_files(paths)
+    modules: list[SourceModule] = []
+    report = AnalysisReport(rules_run=tuple(r.code for r in rules))
+    for path in files:
+        try:
+            module = SourceModule.from_path(path, _display_path(path, root_path))
+        except (OSError, UnicodeDecodeError) as exc:
+            report.findings.append(
+                Finding(PARSE_ERROR_CODE, _display_path(path, root_path), 1, 0,
+                        f"cannot read file: {exc}")
+            )
+            continue
+        modules.append(module)
+        if module.tree is None:
+            err = module.parse_error
+            line = err.lineno or 1 if err else 1
+            report.findings.append(
+                module.finding(PARSE_ERROR_CODE, line,
+                               f"syntax error: {err.msg if err else 'unparsable'}")
+            )
+
+    report.files_checked = len(modules)
+    parsed = [m for m in modules if m.tree is not None]
+    by_path = {m.display_path: m for m in parsed}
+
+    seen_findings: set[Finding] = set()
+
+    def admit(finding: Finding) -> None:
+        if finding in seen_findings:
+            return
+        seen_findings.add(finding)
+        module = by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            report.suppressed += 1
+        else:
+            report.findings.append(finding)
+
+    for rule in rules:
+        for module in parsed:
+            for finding in rule.check_module(module):
+                admit(finding)
+    for rule in rules:
+        for finding in rule.finalize(parsed):
+            admit(finding)
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,49 @@
+"""Rule registry: code -> rule class, with CLI-facing selection helpers."""
+
+from __future__ import annotations
+
+from .core import Rule
+
+__all__ = ["register", "all_rules", "get_rule", "rules_for"]
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (keyed by its code)."""
+    code = rule_cls.code.upper()
+    if not code:
+        raise ValueError(f"{rule_cls.__name__} has no rule code")
+    if code in _REGISTRY and _REGISTRY[code] is not rule_cls:
+        raise ValueError(f"duplicate rule code {code}")
+    # Decorators run while the rules module is being imported; the import
+    # machinery serialises that, so no lock is needed here.
+    _REGISTRY[code] = rule_cls  # repro: noqa[R002] -- import-time registration
+    return rule_cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package registers every built-in rule.
+    from . import rules  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in code order."""
+    _ensure_loaded()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[code.upper()]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {code!r}; known rules: {known}") from None
+
+
+def rules_for(codes: list[str] | None) -> list[Rule]:
+    """Rule instances for a ``--rules`` selection (``None`` = all)."""
+    if not codes:
+        return all_rules()
+    return [get_rule(code) for code in codes]

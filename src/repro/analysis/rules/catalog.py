@@ -1,0 +1,338 @@
+"""R004: catalog invariants -- Table 5 constraints on machine literals.
+
+The machine catalog is the ground truth every table and figure is
+computed from; a typo'd cache size or channel count silently skews every
+downstream number.  This rule statically evaluates the literal arguments
+of ``CacheLevel``/``Topology``/``MemorySubsystem``/``Machine`` calls
+(resolving the ``KiB``/``MiB``/``GiB`` idiom and the ``ddr4``/``ddr5``/
+``lpddr4`` constructors) and checks:
+
+* cache geometry: sizes divide into whole power-of-two set counts for
+  power-of-two associativities, L1 is a power of two, levels in a
+  hierarchy tuple ascend with non-decreasing sizes;
+* topology: cores divide evenly into clusters and NUMA regions;
+* memory: channels/controllers pair in integer ratios, capacity is whole
+  GiB, and a declared sustained-bandwidth override never exceeds
+  ``channels x per-channel JEDEC peak`` (the SG2042's four DDR4-3200
+  channels cannot sustain 150 GB/s no matter what a typo says);
+* Table 5 anchors for the two Sophon parts: SG2044 = 64 cores, 32 x DDR5
+  channels, 2.6 GHz; SG2042 = 64 cores, 4 x DDR4 channels, 2.0 GHz.
+
+Arguments that are not statically evaluable (helper parameters, computed
+expressions) are skipped, never guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..core import Finding, Rule, SourceModule
+from ..registry import register
+from ._astutil import terminal_name
+
+__all__ = ["CatalogRule"]
+
+_SIZE_NAMES = {"KiB": 2**10, "MiB": 2**20, "GiB": 2**30, "KB": 10**3,
+               "MB": 10**6, "GB": 10**9, "LINE": 64}
+
+#: JEDEC bus width (bits) per modelled channel; DDR5 counts 32-bit
+#: sub-channels, matching :mod:`repro.machines.ddr`.
+_DDR_BUS_BITS = {"ddr4": 64, "ddr5": 32, "lpddr4": 32}
+
+#: Table 5 anchors for the machines the paper's conclusions hang on.
+TABLE5_ANCHORS: dict[str, dict[str, float]] = {
+    "sg2044": {"total_cores": 64, "channels": 32, "clock_hz": 2.6e9},
+    "sg2042": {"total_cores": 64, "channels": 4, "clock_hz": 2.0e9},
+}
+_TABLE5_DDR = {"sg2044": "ddr5", "sg2042": "ddr4"}
+
+
+@dataclass(frozen=True)
+class _DDR:
+    kind: str
+    transfer_mts: float
+
+    @property
+    def channel_peak_gbs(self) -> float:
+        return self.transfer_mts * 1e6 * (_DDR_BUS_BITS[self.kind] / 8.0) / 1e9
+
+
+class _Evaluator:
+    """Evaluates numeric literal expressions (and ddr constructor calls)."""
+
+    def __init__(self, module_consts: dict[str, float]) -> None:
+        self.consts = dict(_SIZE_NAMES)
+        self.consts.update(module_consts)
+
+    def eval(self, node: ast.AST):
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.consts.get(node.id)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            val = self.eval(node.operand)
+            return None if val is None else -val
+        if isinstance(node, ast.BinOp):
+            left, right = self.eval(node.left), self.eval(node.right)
+            if left is None or right is None:
+                return None
+            try:
+                if isinstance(node.op, ast.Add):
+                    return left + right
+                if isinstance(node.op, ast.Sub):
+                    return left - right
+                if isinstance(node.op, ast.Mult):
+                    return left * right
+                if isinstance(node.op, ast.Div):
+                    return left / right
+                if isinstance(node.op, ast.FloorDiv):
+                    return left // right
+                if isinstance(node.op, ast.Pow):
+                    return left**right
+            except (ZeroDivisionError, OverflowError):
+                return None
+            return None
+        if isinstance(node, ast.Call):
+            callee = terminal_name(node.func)
+            if callee in _DDR_BUS_BITS and node.args:
+                mts = self.eval(node.args[0])
+                if mts is not None:
+                    return _DDR(callee, float(mts))
+        return None
+
+
+def _is_pow2(value: float) -> bool:
+    iv = int(value)
+    return iv == value and iv > 0 and (iv & (iv - 1)) == 0
+
+
+def _call_args(call: ast.Call, positional: tuple[str, ...]) -> dict[str, ast.AST]:
+    """Map a call's arguments to parameter names via the positional order."""
+    out: dict[str, ast.AST] = {}
+    for name, arg in zip(positional, call.args):
+        out[name] = arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            out[kw.arg] = kw.value
+    return out
+
+
+@register
+class CatalogRule(Rule):
+    code = "R004"
+    name = "catalog-invariants"
+    description = (
+        "machine-catalog literals violating cache geometry, topology "
+        "divisibility, bandwidth consistency or Table 5 anchors"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        module_consts: dict[str, float] = {}
+        evaluator = _Evaluator(module_consts)
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                value = evaluator.eval(stmt.value)
+                if isinstance(value, (int, float)):
+                    evaluator.consts[stmt.targets[0].id] = value
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                callee = terminal_name(node.func)
+                if callee == "CacheLevel":
+                    yield from self._check_cache_level(module, node, evaluator)
+                elif callee == "Topology":
+                    yield from self._check_topology(module, node, evaluator)
+                elif callee == "MemorySubsystem":
+                    yield from self._check_memory(module, node, evaluator, None)
+                elif callee == "Machine":
+                    yield from self._check_machine(module, node, evaluator)
+            elif isinstance(node, (ast.Tuple, ast.List)):
+                yield from self._check_hierarchy(module, node, evaluator)
+
+    # ------------------------------------------------------------------
+
+    def _cache_fields(self, call: ast.Call, ev: _Evaluator) -> dict[str, float]:
+        args = _call_args(call, ("level", "size_bytes", "sharing",
+                                 "latency_cycles", "line_bytes", "associativity"))
+        out: dict[str, float] = {}
+        for name in ("level", "size_bytes", "latency_cycles", "line_bytes",
+                     "associativity"):
+            if name in args:
+                value = ev.eval(args[name])
+                if isinstance(value, (int, float)):
+                    out[name] = value
+        out.setdefault("line_bytes", 64)
+        out.setdefault("associativity", 8)
+        return out
+
+    def _check_cache_level(self, module, call, ev) -> Iterator[Finding]:
+        f = self._cache_fields(call, ev)
+        size = f.get("size_bytes")
+        level = f.get("level")
+        assoc = f["associativity"]
+        line = f["line_bytes"]
+        if level is not None and level not in (1, 2, 3):
+            yield module.finding(self.code, call,
+                                 f"cache level must be 1..3, got {level:g}")
+        if size is not None:
+            if size % (assoc * line):
+                yield module.finding(
+                    self.code, call,
+                    f"cache size {int(size)} B does not divide into "
+                    f"{int(assoc)}-way sets of {int(line)} B lines",
+                )
+            elif _is_pow2(assoc) and not _is_pow2(size / (assoc * line)):
+                yield module.finding(
+                    self.code, call,
+                    f"cache size {int(size)} B gives a non-power-of-two set "
+                    f"count ({int(size / (assoc * line))}) for "
+                    f"{int(assoc)}-way associativity; real indexing hardware "
+                    "wants power-of-two sets",
+                )
+            if level == 1 and not _is_pow2(size):
+                yield module.finding(
+                    self.code, call,
+                    f"L1 size {int(size)} B is not a power of two",
+                )
+
+    def _check_topology(self, module, call, ev) -> Iterator[Finding]:
+        args = _call_args(call, ("total_cores", "cores_per_cluster",
+                                 "numa_regions"))
+        vals = {k: ev.eval(v) for k, v in args.items()}
+        cores = vals.get("total_cores")
+        cluster = vals.get("cores_per_cluster")
+        numa = vals.get("numa_regions")
+        if isinstance(cores, (int, float)) and isinstance(cluster, (int, float)) \
+                and cluster and cores % cluster:
+            yield module.finding(
+                self.code, call,
+                f"{int(cores)} cores do not divide into clusters of "
+                f"{int(cluster)}",
+            )
+        if isinstance(cores, (int, float)) and isinstance(numa, (int, float)) \
+                and numa and cores % numa:
+            yield module.finding(
+                self.code, call,
+                f"{int(cores)} cores do not divide into {int(numa)} NUMA "
+                "region(s)",
+            )
+
+    def _check_memory(self, module, call, ev, anchor: str | None) -> Iterator[Finding]:
+        args = _call_args(call, ("ddr", "controllers", "channels",
+                                 "capacity_bytes"))
+        vals = {k: ev.eval(v) for k, v in args.items()}
+        ddr = vals.get("ddr")
+        controllers = vals.get("controllers")
+        channels = vals.get("channels")
+        capacity = vals.get("capacity_bytes")
+        override = None
+        if "sustained_bw_override_gbs" in args:
+            override = ev.eval(args["sustained_bw_override_gbs"])
+
+        if isinstance(controllers, (int, float)) and isinstance(channels, (int, float)):
+            if controllers and channels and (channels % controllers) \
+                    and (controllers % channels):
+                yield module.finding(
+                    self.code, call,
+                    f"channels ({int(channels)}) and controllers "
+                    f"({int(controllers)}) do not pair in an integer ratio",
+                )
+        if isinstance(capacity, (int, float)) and capacity % 2**30:
+            yield module.finding(
+                self.code, call,
+                f"DRAM capacity {capacity:g} B is not a whole number of GiB",
+            )
+        if isinstance(ddr, _DDR) and isinstance(channels, (int, float)) \
+                and isinstance(override, (int, float)):
+            peak = channels * ddr.channel_peak_gbs
+            if override > peak:
+                yield module.finding(
+                    self.code, call,
+                    f"declared sustained bandwidth {override:g} GB/s exceeds "
+                    f"the aggregate JEDEC peak {peak:.1f} GB/s of "
+                    f"{int(channels)} x {ddr.kind.upper()}-{ddr.transfer_mts:g} "
+                    "channel(s)",
+                )
+        if anchor is not None and anchor in TABLE5_ANCHORS:
+            expect = TABLE5_ANCHORS[anchor]
+            if isinstance(channels, (int, float)) \
+                    and channels != expect["channels"]:
+                yield module.finding(
+                    self.code, call,
+                    f"{anchor}: Table 5 lists {int(expect['channels'])} memory "
+                    f"channels, catalog says {int(channels)}",
+                )
+            if isinstance(ddr, _DDR) and ddr.kind != _TABLE5_DDR[anchor]:
+                yield module.finding(
+                    self.code, call,
+                    f"{anchor}: Table 5 lists {_TABLE5_DDR[anchor].upper()}, "
+                    f"catalog says {ddr.kind.upper()}",
+                )
+
+    def _check_machine(self, module, call, ev) -> Iterator[Finding]:
+        args = _call_args(call, ("name",))
+        name_node = args.get("name")
+        anchor = None
+        if isinstance(name_node, ast.Constant) and isinstance(name_node.value, str):
+            anchor = name_node.value
+        clock = ev.eval(args["clock_hz"]) if "clock_hz" in args else None
+        if isinstance(clock, (int, float)) and not 0.4e9 <= clock <= 6e9:
+            yield module.finding(
+                self.code, call,
+                f"clock_hz {clock:g} is outside the plausible 0.4-6 GHz "
+                "band; likely a unit slip (Hz expected)",
+            )
+        if anchor in TABLE5_ANCHORS:
+            expect = TABLE5_ANCHORS[anchor]
+            if isinstance(clock, (int, float)) and clock != expect["clock_hz"]:
+                yield module.finding(
+                    self.code, call,
+                    f"{anchor}: paper measured {expect['clock_hz'] / 1e9:g} "
+                    f"GHz, catalog says {clock / 1e9:g} GHz",
+                )
+            if "topology" in args and isinstance(args["topology"], ast.Call):
+                topo = _call_args(args["topology"],
+                                  ("total_cores", "cores_per_cluster"))
+                cores = ev.eval(topo["total_cores"]) \
+                    if "total_cores" in topo else None
+                if isinstance(cores, (int, float)) \
+                        and cores != expect["total_cores"]:
+                    yield module.finding(
+                        self.code, call,
+                        f"{anchor}: Table 5 lists "
+                        f"{int(expect['total_cores'])} cores, catalog says "
+                        f"{int(cores)}",
+                    )
+            if "memory" in args and isinstance(args["memory"], ast.Call) \
+                    and terminal_name(args["memory"].func) == "MemorySubsystem":
+                yield from self._check_memory(module, args["memory"], ev, anchor)
+
+    def _check_hierarchy(self, module, node, ev) -> Iterator[Finding]:
+        levels: list[tuple[ast.Call, dict[str, float]]] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Call) and terminal_name(elt.func) == "CacheLevel":
+                levels.append((elt, self._cache_fields(elt, ev)))
+        if len(levels) < 2:
+            return
+        prev_level = prev_size = None
+        for call, f in levels:
+            level, size = f.get("level"), f.get("size_bytes")
+            if level is not None and prev_level is not None \
+                    and level <= prev_level:
+                yield module.finding(
+                    self.code, call,
+                    f"cache levels must ascend; L{int(level)} follows "
+                    f"L{int(prev_level)}",
+                )
+            if size is not None and prev_size is not None and size < prev_size:
+                yield module.finding(
+                    self.code, call,
+                    f"L{int(level) if level else '?'} ({int(size)} B) is "
+                    f"smaller than the level below it ({int(prev_size)} B)",
+                )
+            prev_level = level if level is not None else prev_level
+            prev_size = size if size is not None else prev_size

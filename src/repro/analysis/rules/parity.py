@@ -1,0 +1,217 @@
+"""R005: model parity -- scalar/grid twins and complete kernel registration.
+
+The batched sweep path is only trustworthy because every vectorised
+``_foo_grid`` cost term in :class:`PerformanceModel` has a scalar ``_foo``
+reference implementation it is tested bit-identical against (and the
+scalar entry points route through the grid, so neither can drift alone).
+This rule enforces the pairing both ways inside classes named
+``PerformanceModel``:
+
+* every ``_foo_grid`` method needs a scalar ``_foo`` sibling;
+* every private scalar method taking a thread count (a parameter named
+  ``n`` or ``n_threads``) needs a ``_foo_grid`` sibling.
+
+The project-level part checks kernel registration completeness: every
+NPB kernel module (a ``run_<k>`` definition in a ``npb/`` directory) must
+have a workload signature in ``SIGNATURE_BUILDERS`` and a trace spec in
+``KERNEL_TRACES``, and vice versa -- a kernel missing from either would
+silently drop out of tables without an error.  Signature builders must
+pass the core resource axes (``total_mops``, ``work_per_op``,
+``dram_bytes_per_op``, ``working_set_bytes``) so no kernel ships a
+partial signature.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from ..core import Finding, ProjectRule, SourceModule
+from ..registry import register
+
+__all__ = ["ParityRule"]
+
+#: Classes whose private methods must keep scalar/grid parity.
+PARITY_CLASSES = {"PerformanceModel"}
+
+#: Parameter names that mark a method as thread-count-indexed (the grid axis).
+_THREAD_PARAMS = {"n", "n_threads"}
+
+#: Keywords every KernelSignature registration must supply.
+REQUIRED_SIGNATURE_FIELDS = (
+    "name", "display", "npb_class", "total_mops", "work_per_op",
+    "dram_bytes_per_op", "working_set_bytes",
+)
+
+#: ``run_<name>`` definitions in npb/ that are drivers, not kernels.
+_NON_KERNEL_RUNNERS = {"benchmark", "suite"}
+
+
+@register
+class ParityRule(ProjectRule):
+    code = "R005"
+    name = "model-parity"
+    description = (
+        "missing scalar/_grid method twins in PerformanceModel, or NPB "
+        "kernels without a complete signature/trace registration"
+    )
+
+    # -- per-file: scalar/grid twins -----------------------------------
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name in PARITY_CLASSES:
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name, func in methods.items():
+            if name.startswith("__"):
+                continue
+            if name.endswith("_grid"):
+                base = name[: -len("_grid")]
+                if base not in methods:
+                    yield module.finding(
+                        self.code, func,
+                        f"`{cls.name}.{name}` has no scalar `{base}` twin; "
+                        "the grid path needs a scalar reference "
+                        "implementation to be tested against",
+                    )
+            elif name.startswith("_") and self._takes_thread_count(func) \
+                    and f"{name}_grid" not in methods:
+                yield module.finding(
+                    self.code, func,
+                    f"`{cls.name}.{name}` takes a thread count but has no "
+                    f"`{name}_grid` twin; batched sweeps cannot evaluate it",
+                )
+
+    @staticmethod
+    def _takes_thread_count(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        names = {a.arg for a in (*func.args.posonlyargs, *func.args.args,
+                                 *func.args.kwonlyargs)}
+        return bool(names & _THREAD_PARAMS)
+
+    # -- project: kernel registration completeness ---------------------
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
+        kernels: dict[str, SourceModule] = {}
+        signatures: tuple[SourceModule, dict[str, ast.expr]] | None = None
+        traces: tuple[SourceModule, set[str]] | None = None
+
+        for module in modules:
+            if module.path.parent.name == "npb":
+                stem = module.path.stem.rstrip("_")
+                for stmt in module.tree.body:
+                    if isinstance(stmt, ast.FunctionDef) \
+                            and stmt.name.startswith("run_"):
+                        kernel = stmt.name[len("run_"):]
+                        if kernel == stem and kernel not in _NON_KERNEL_RUNNERS:
+                            kernels[kernel] = module
+            builders = _dict_literal(module, "SIGNATURE_BUILDERS")
+            if builders is not None:
+                signatures = (module, builders)
+            trace_keys = _dict_literal(module, "KERNEL_TRACES")
+            if trace_keys is not None:
+                traces = (module, set(trace_keys))
+
+        if signatures is not None:
+            sig_module, builders = signatures
+            if kernels:
+                for kernel, module in sorted(kernels.items()):
+                    if kernel not in builders:
+                        yield module.finding(
+                            self.code, 1,
+                            f"NPB kernel `{kernel}` has no entry in "
+                            "SIGNATURE_BUILDERS; the model cannot predict it",
+                        )
+                for kernel in sorted(set(builders) - set(kernels)):
+                    yield sig_module.finding(
+                        self.code, 1,
+                        f"SIGNATURE_BUILDERS registers `{kernel}` but no "
+                        f"npb/{kernel}.py module defines `run_{kernel}`",
+                    )
+            yield from self._check_builders(sig_module, builders)
+
+        if traces is not None and kernels:
+            trace_module, trace_keys = traces
+            for kernel, module in sorted(kernels.items()):
+                if kernel not in trace_keys:
+                    yield module.finding(
+                        self.code, 1,
+                        f"NPB kernel `{kernel}` has no KERNEL_TRACES entry; "
+                        "the cache simulator cannot characterise it",
+                    )
+            for kernel in sorted(trace_keys - set(kernels)):
+                yield trace_module.finding(
+                    self.code, 1,
+                    f"KERNEL_TRACES lists `{kernel}` but no npb/{kernel}.py "
+                    f"module defines `run_{kernel}`",
+                )
+
+    def _check_builders(
+        self, module: SourceModule, builders: dict[str, ast.expr]
+    ) -> Iterator[Finding]:
+        functions = {
+            stmt.name: stmt
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        for kernel, value in builders.items():
+            if not isinstance(value, ast.Name):
+                continue
+            builder = functions.get(value.id)
+            if builder is None:
+                continue
+            call = _kernel_signature_call(builder)
+            if call is None:
+                yield module.finding(
+                    self.code, builder,
+                    f"signature builder `{value.id}` for `{kernel}` never "
+                    "constructs a KernelSignature",
+                )
+                continue
+            supplied = {kw.arg for kw in call.keywords if kw.arg}
+            missing = [f for f in REQUIRED_SIGNATURE_FIELDS if f not in supplied]
+            if missing:
+                yield module.finding(
+                    self.code, call,
+                    f"signature for `{kernel}` is incomplete: missing "
+                    f"{', '.join(missing)}",
+                )
+
+
+def _dict_literal(module: SourceModule, name: str) -> dict[str, ast.expr] | None:
+    """String-keyed dict literal assigned to ``name`` at module level."""
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name \
+                    and isinstance(value, ast.Dict):
+                out: dict[str, ast.expr] = {}
+                for key, val in zip(value.keys, value.values):
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        out[key.value] = val
+                return out
+    return None
+
+
+def _kernel_signature_call(func: ast.FunctionDef) -> ast.Call | None:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if name == "KernelSignature":
+                return node
+    return None

@@ -15,6 +15,8 @@ Commands
 ``roofline``     roofline placement of the kernels on one machine
 ``export``       write every table and figure to a directory as CSV
 ``score``        model-vs-paper error scorecard across all tables
+``lint``         repo-aware static analysis (determinism, locking, units,
+                 catalog invariants, model parity)
 """
 
 from __future__ import annotations
@@ -89,6 +91,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("score", help="model-vs-paper error scorecard")
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+
+    p = sub.add_parser("lint", help="repo-aware static analysis (R001-R005)")
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to check (default: src benchmarks)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule codes to run (default: all), e.g. R001,R003",
+    )
+    p.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
 
     return parser
 
@@ -277,6 +302,30 @@ def _cmd_score(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import run_analysis
+    from repro.analysis.registry import all_rules, rules_for
+    from repro.analysis.reporting import render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<14} {rule.description}")
+        return 0
+    if args.rules is None:
+        rules = all_rules()
+    else:
+        codes = [c.strip() for c in args.rules.split(",") if c.strip()]
+        try:
+            rules = rules_for(codes)
+        except KeyError as exc:
+            print(f"repro: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    report = run_analysis(args.paths, rules, root=".")
+    render = render_json if args.fmt == "json" else render_text
+    sys.stdout.write(render(report))
+    return report.exit_code
+
+
 _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
@@ -291,6 +340,7 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "export": _cmd_export,
     "score": _cmd_score,
+    "lint": _cmd_lint,
 }
 
 

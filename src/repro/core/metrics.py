@@ -38,16 +38,16 @@ def speedup_curve(mops_by_threads: Sequence[tuple[int, float]]) -> list[tuple[in
 
     Input must contain the 1-thread measurement.
     """
-    base = None
+    base_mops = None
     for n, mops in mops_by_threads:
         if n == 1:
-            base = mops
+            base_mops = mops
             break
-    if base is None:
+    if base_mops is None:
         raise ValueError("speedup needs the 1-thread measurement")
-    if base <= 0:
+    if base_mops <= 0:
         raise ValueError("1-thread rate must be positive")
-    return [(n, mops / base) for n, mops in mops_by_threads]
+    return [(n, mops / base_mops) for n, mops in mops_by_threads]
 
 
 def parallel_efficiency(mops_by_threads: Sequence[tuple[int, float]]) -> list[tuple[int, float]]:

@@ -334,6 +334,15 @@ class PerformanceModel:
         return np.where(ratio >= 1.0, 0.02, np.where(ratio <= 0.6, 1.0, trans))
 
     @staticmethod
+    def _effective_threads(sig: KernelSignature, machine: Machine, n: int) -> float:
+        """Scalar view of :meth:`_effective_threads_grid` for one count."""
+        return float(
+            PerformanceModel._effective_threads_grid(
+                sig, machine, np.asarray([n], dtype=np.int64)
+            )[0]
+        )
+
+    @staticmethod
     def _effective_threads_grid(
         sig: KernelSignature, machine: Machine, ns: np.ndarray
     ) -> np.ndarray:
@@ -349,6 +358,15 @@ class PerformanceModel:
             * machine.parallel_efficiency_grid(ns, numa_sensitive=numa_sensitive)
         )
         return np.where(ns == 1, 1.0, res)
+
+    @staticmethod
+    def _communication_bytes(sig: KernelSignature, machine: Machine, n: int) -> float:
+        """Scalar view of :meth:`_communication_bytes_grid` for one count."""
+        return float(
+            PerformanceModel._communication_bytes_grid(
+                sig, machine, np.asarray([n], dtype=np.int64)
+            )[0]
+        )
 
     @staticmethod
     def _communication_bytes_grid(
@@ -372,6 +390,25 @@ class PerformanceModel:
             numa_factor = 1.0
         alltoall = sig.comm.alltoall_bytes * sig.total_ops * numa_factor
         return np.where(ns == 1, 0.0, neighbour + alltoall)
+
+    @staticmethod
+    def _latency_time(
+        machine: Machine,
+        sig: KernelSignature,
+        n: int,
+        spill: float,
+        cap_scale: float = 1.0,
+    ) -> float:
+        """Scalar view of :meth:`_latency_time_grid` for one thread count."""
+        return float(
+            PerformanceModel._latency_time_grid(
+                machine,
+                sig,
+                np.asarray([n], dtype=np.int64),
+                np.asarray([spill], dtype=np.float64),
+                cap_scale,
+            )[0]
+        )
 
     @staticmethod
     def _latency_time_grid(
@@ -402,7 +439,7 @@ class PerformanceModel:
             return np.zeros(ns.shape, dtype=np.float64)
 
         nsf = ns.astype(np.float64)
-        target = sig.effective_random_target_bytes
+        target_bytes = sig.effective_random_target_bytes
         mlp = machine.memory.core_mlp * sig.gather_mlp_factor
         sharp = machine.memory.saturation_sharpness
         ghz = machine.clock_ghz
@@ -414,11 +451,11 @@ class PerformanceModel:
         # hits for the resident half).
         fit_mid = 0.0
         if mid is not None:
-            fit_mid = 0.98 * min(1.0, mid.size_bytes / target)
+            fit_mid = 0.98 * min(1.0, mid.size_bytes / target_bytes)
         llc_agg = llc.size_bytes * (
             machine.n_cores // machine.cores_sharing(llc)
         )
-        fit_llc = max(fit_mid, 0.98 * min(1.0, llc_agg / target))
+        fit_llc = max(fit_mid, 0.98 * min(1.0, llc_agg / target_bytes))
         frac_dram = np.maximum(1.0 - fit_llc, 0.02 * spill + (1.0 - spill) * 0.0)
         frac_llc = np.maximum(0.0, 1.0 - fit_mid - frac_dram)
         frac_mid = np.maximum(0.0, 1.0 - frac_llc - frac_dram)

@@ -58,8 +58,8 @@ class ExperimentResult:
     @property
     def cv_percent(self) -> float:
         """Coefficient of variation of the run samples, in percent."""
-        mean = self.mean_mops
-        return 100.0 * self.stdev_mops / mean if mean else 0.0
+        mean_mops = self.mean_mops
+        return 100.0 * self.stdev_mops / mean_mops if mean_mops else 0.0
 
     def summary(self) -> str:
         vec = "vec" if self.vectorised else "no-vec"

@@ -66,9 +66,9 @@ def roofline_point(
     """
     n = n_cores if n_cores is not None else machine.n_cores
     flops = signature.total_mops * 1e6  # counted ops ~ flops for NPB
-    traffic = signature.total_dram_bytes
+    traffic_bytes = signature.total_dram_bytes
     peak = peak_gflops(machine, n)
-    if traffic <= 0:
+    if traffic_bytes <= 0:
         return RooflinePoint(
             machine=machine.name,
             kernel=signature.name,
@@ -76,7 +76,7 @@ def roofline_point(
             attainable_gflops=peak,
             memory_bound=False,
         )
-    intensity = flops / traffic
+    intensity = flops / traffic_bytes
     bw = machine.memory.stream_bw_gbs(n)
     attainable = min(peak, intensity * bw)
     return RooflinePoint(

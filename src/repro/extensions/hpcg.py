@@ -104,7 +104,7 @@ def run_hpcg_host(grid: int = 16, iterations: int = 25) -> HPCGResult:
     sym_err = abs(float(xt @ (a @ yt)) - float(yt @ (a @ xt)))
     sym_err /= max(1.0, float(np.abs(xt @ (a @ yt))))
 
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: noqa[R001] -- host-side wall-clock measurement
     x = np.zeros(n)
     r = b - a @ x
     z = _symmetric_gauss_seidel(a, r)
@@ -120,7 +120,7 @@ def run_hpcg_host(grid: int = 16, iterations: int = 25) -> HPCGResult:
         rz_new = float(r @ z)
         p = z + (rz_new / rz) * p
         rz = rz_new
-    elapsed = time.perf_counter() - t0
+    elapsed = time.perf_counter() - t0  # repro: noqa[R001] -- host-side wall-clock measurement
 
     rel = float(np.linalg.norm(b - a @ x)) / b_norm
     # HPCG flop accounting: per iteration ~ 2 nnz (SpMV) + 4 nnz (SymGS)

@@ -38,7 +38,7 @@ def llvm_vs_gcc(
     rows = []
     for kernel in _KERNELS:
         vectorise = kernel != "cg"
-        gcc = runner.run(
+        gcc_mops = runner.run(
             ExperimentConfig(
                 machine=machine,
                 kernel=kernel,
@@ -48,7 +48,7 @@ def llvm_vs_gcc(
                 vectorise=vectorise,
             )
         ).mean_mops
-        llvm = runner.run(
+        llvm_mops = runner.run(
             ExperimentConfig(
                 machine=machine,
                 kernel=kernel,
@@ -58,5 +58,7 @@ def llvm_vs_gcc(
                 vectorise=vectorise,
             )
         ).mean_mops
-        rows.append(LLVMComparisonRow(kernel=kernel, gcc_mops=gcc, llvm_mops=llvm))
+        rows.append(
+            LLVMComparisonRow(kernel=kernel, gcc_mops=gcc_mops, llvm_mops=llvm_mops)
+        )
     return rows

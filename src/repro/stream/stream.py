@@ -79,7 +79,7 @@ def run_stream_host(
         c = np.zeros(n_elements)
         best = float("inf")
         for _ in range(trials):
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # repro: noqa[R001] -- host-side wall-clock measurement
             if kernel == "copy":
                 c[:] = a
             elif kernel == "scale":
@@ -88,7 +88,7 @@ def run_stream_host(
                 c[:] = a + b
             else:  # triad
                 a[:] = b + _SCALAR * c
-            best = min(best, time.perf_counter() - t0)
+            best = min(best, time.perf_counter() - t0)  # repro: noqa[R001] -- host-side wall-clock measurement
         ea, eb, ec = _expected_final(kernel, trials)
         verified = bool(
             np.allclose(a[::max(1, n_elements // 17)], ea)

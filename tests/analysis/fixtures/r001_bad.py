@@ -1,0 +1,22 @@
+"""R001 known-bad: global RNG state, entropy seeding and wall-clock reads."""
+
+import random
+import time
+
+import numpy as np
+
+
+def global_numpy_stream():
+    return np.random.rand(3)
+
+
+def entropy_seeded():
+    return np.random.default_rng()
+
+
+def global_stdlib_stream():
+    return random.random()
+
+
+def wall_clock():
+    return time.time()

@@ -1,0 +1,19 @@
+"""R001 known-good: every random draw comes from a seeded Generator."""
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(4)
+
+
+def spawn_child_stream(seed):
+    ss = np.random.SeedSequence(seed)
+    return np.random.default_rng(ss)
+
+
+def seeded_stdlib(seed):
+    import random
+
+    return random.Random(seed).random()

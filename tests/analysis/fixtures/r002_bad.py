@@ -1,0 +1,28 @@
+"""R002 known-bad: unlocked cache writes and mutation of cached handouts."""
+
+import threading
+
+_cache_lock = threading.Lock()
+_cache = {}
+_engine = None
+
+
+def put(key, value):
+    _cache[key] = value
+
+
+def reset():
+    global _engine
+    _engine = object()
+
+
+def poke():
+    data = build_trace("cg", 1)  # noqa: F821 - fixture, never executed
+    data[0] = 0.0
+    return data
+
+
+def rearm():
+    arr = make_matrix(100, seed=7)  # noqa: F821 - fixture, never executed
+    arr.setflags(write=True)
+    return arr

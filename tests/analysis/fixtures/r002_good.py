@@ -1,0 +1,29 @@
+"""R002 known-good: every cache write sits under the module lock."""
+
+import threading
+
+_cache_lock = threading.Lock()
+_cache = {}
+_engine = None
+
+
+def get(key):
+    with _cache_lock:
+        if key not in _cache:
+            _cache[key] = key * 2
+        return _cache[key]
+
+
+def default_engine():
+    global _engine
+    with _cache_lock:
+        if _engine is None:
+            _engine = object()
+        return _engine
+
+
+def local_copy():
+    data = build_trace("cg", 1)  # noqa: F821 - fixture, never executed
+    mine = list(data)
+    mine[0] = 0.0
+    return mine

@@ -1,0 +1,18 @@
+"""R003 known-bad: incompatible suffixes mixed, units dropped from names."""
+
+
+def additive_mix(capacity_bytes, clock_ghz):
+    return capacity_bytes + clock_ghz
+
+
+def comparison_mix(idle_latency_ns, barrier_cost_s):
+    return idle_latency_ns > barrier_cost_s
+
+
+def unit_dropping_alias(sustained_bw_gbs):
+    bw = sustained_bw_gbs
+    return bw
+
+
+def keyword_slip(configure, window_s):
+    return configure(latency_ns=window_s)

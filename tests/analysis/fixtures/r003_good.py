@@ -1,0 +1,14 @@
+"""R003 known-good: units converted explicitly, suffixes kept in names."""
+
+
+def to_seconds(idle_latency_ns):
+    latency_s = idle_latency_ns * 1e-9
+    return latency_s
+
+
+def total_time_s(compute_s, stream_s):
+    return compute_s + stream_s
+
+
+def capacity_check(working_set_bytes, cache_bytes):
+    return working_set_bytes > cache_bytes

@@ -1,0 +1,29 @@
+"""R004 known-bad: catalog literals that contradict physics or Table 5."""
+
+GiB = 2**30
+
+LOPSIDED = Topology(  # noqa: F821 - fixture, never executed
+    total_cores=64, cores_per_cluster=6, numa_regions=1
+)
+
+OVERCLAIMED = MemorySubsystem(  # noqa: F821 - fixture, never executed
+    ddr=ddr4(3200),  # noqa: F821
+    controllers=4,
+    channels=4,
+    capacity_bytes=64 * GiB,
+    sustained_bw_override_gbs=150.0,
+)
+
+WRONG_ANCHOR = Machine(  # noqa: F821 - fixture, never executed
+    name="sg2042",
+    clock_hz=2.5e9,
+    topology=Topology(  # noqa: F821
+        total_cores=64, cores_per_cluster=4, numa_regions=1
+    ),
+    memory=MemorySubsystem(  # noqa: F821
+        ddr=ddr4(3200),  # noqa: F821
+        controllers=4,
+        channels=8,
+        capacity_bytes=64 * GiB,
+    ),
+)

@@ -1,0 +1,26 @@
+"""R004 known-good: a catalog entry consistent with Table 5."""
+
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+
+CACHES = (
+    CacheLevel(1, 64 * KiB, "core", 4),  # noqa: F821 - fixture, never executed
+    CacheLevel(2, 2 * MiB, "cluster", 30),  # noqa: F821
+    CacheLevel(3, 64 * MiB, "chip", 90),  # noqa: F821
+)
+
+MACHINE = Machine(  # noqa: F821 - fixture, never executed
+    name="sg2044",
+    clock_hz=2.6e9,
+    topology=Topology(  # noqa: F821
+        total_cores=64, cores_per_cluster=4, numa_regions=1
+    ),
+    memory=MemorySubsystem(  # noqa: F821
+        ddr=ddr5(5600),  # noqa: F821
+        controllers=8,
+        channels=32,
+        capacity_bytes=128 * GiB,
+        sustained_bw_override_gbs=170.0,
+    ),
+)

@@ -1,0 +1,11 @@
+"""R005 known-bad: grid/scalar cost terms missing their twins."""
+
+
+class PerformanceModel:
+    @staticmethod
+    def _orphan_grid(sig, machine, ns):
+        return ns
+
+    @staticmethod
+    def _scalar_only(sig, machine, n):
+        return float(n)

@@ -1,0 +1,144 @@
+"""Framework core: suppression, parse errors, file discovery, reports."""
+
+import pytest
+
+from repro.analysis.core import (
+    PARSE_ERROR_CODE,
+    AnalysisReport,
+    Finding,
+    SourceModule,
+    iter_python_files,
+    run_analysis,
+)
+from repro.analysis.registry import all_rules, get_rule, rules_for
+
+
+class TestFinding:
+    def test_location(self):
+        f = Finding("R001", "src/x.py", 10, 4, "msg")
+        assert f.location() == "src/x.py:10:4"
+
+    def test_to_dict_keys(self):
+        f = Finding("R001", "src/x.py", 10, 4, "msg")
+        assert f.to_dict() == {
+            "rule": "R001", "path": "src/x.py", "line": 10, "col": 4,
+            "message": "msg",
+        }
+
+    def test_hashable_for_dedup(self):
+        a = Finding("R001", "x.py", 1, 0, "m")
+        b = Finding("R001", "x.py", 1, 0, "m")
+        assert len({a, b}) == 1
+
+
+class TestSuppression:
+    def _module(self, text):
+        return SourceModule("fixture.py", text)
+
+    def test_bare_noqa_suppresses_every_rule(self):
+        m = self._module("x = 1  # repro: noqa\n")
+        assert m.is_suppressed("R001", 1)
+        assert m.is_suppressed("R004", 1)
+
+    def test_coded_noqa_suppresses_only_listed_rules(self):
+        m = self._module("x = 1  # repro: noqa[R001, R003]\n")
+        assert m.is_suppressed("R001", 1)
+        assert m.is_suppressed("R003", 1)
+        assert not m.is_suppressed("R002", 1)
+
+    def test_case_insensitive(self):
+        m = self._module("x = 1  # REPRO: NOQA[r001]\n")
+        assert m.is_suppressed("R001", 1)
+
+    def test_reason_text_allowed(self):
+        m = self._module("x = 1  # repro: noqa[R001] -- host measurement\n")
+        assert m.is_suppressed("R001", 1)
+
+    def test_other_lines_unaffected(self):
+        m = self._module("x = 1  # repro: noqa[R001]\ny = 2\n")
+        assert not m.is_suppressed("R001", 2)
+
+    def test_plain_flake8_noqa_is_not_ours(self):
+        m = self._module("x = 1  # noqa: F821\n")
+        assert not m.is_suppressed("R001", 1)
+
+
+class TestParseErrors:
+    def test_syntax_error_yields_e001(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = run_analysis([bad], all_rules(), root=tmp_path)
+        assert report.exit_code == 1
+        assert [f.rule for f in report.findings] == [PARSE_ERROR_CODE]
+
+    def test_source_module_records_error(self):
+        m = SourceModule("broken.py", "def f(:\n")
+        assert m.tree is None
+        assert m.parse_error is not None
+
+
+class TestFileDiscovery:
+    def test_skips_cache_dirs_and_dedups(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path, tmp_path / "pkg" / "a.py"])
+        assert [p.name for p in files] == ["a.py"]
+
+    def test_non_python_file_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello\n")
+        assert iter_python_files([tmp_path / "notes.txt"]) == []
+
+
+class TestReport:
+    def test_exit_codes(self):
+        assert AnalysisReport().exit_code == 0
+        assert AnalysisReport(findings=[Finding("R001", "x", 1, 0, "m")]).exit_code == 1
+
+    def test_by_rule_counts_sorted(self):
+        report = AnalysisReport(findings=[
+            Finding("R003", "x", 1, 0, "m"),
+            Finding("R001", "x", 2, 0, "m"),
+            Finding("R003", "x", 3, 0, "m"),
+        ])
+        assert report.by_rule() == {"R001": 1, "R003": 2}
+
+    def test_to_dict_schema(self):
+        d = AnalysisReport(files_checked=3, rules_run=("R001",)).to_dict()
+        assert d["version"] == 1
+        assert set(d) == {
+            "version", "files_checked", "rules_run", "findings",
+            "suppressed", "by_rule", "exit_code",
+        }
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "a.py").write_text("import time\nt = time.time()\n")
+        report = run_analysis([tmp_path], rules_for(["R001"]), root=tmp_path)
+        assert [f.path for f in report.findings] == ["a.py", "b.py"]
+
+    def test_suppressed_counted_not_reported(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            "import time\nt = time.time()  # repro: noqa[R001]\n"
+        )
+        report = run_analysis([tmp_path], rules_for(["R001"]), root=tmp_path)
+        assert report.exit_code == 0
+        assert report.suppressed == 1
+
+
+class TestRegistry:
+    def test_all_rules_in_code_order(self):
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+        assert {"R001", "R002", "R003", "R004", "R005"} <= set(codes)
+
+    def test_get_rule_case_insensitive(self):
+        assert get_rule("r001").code == "R001"
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rule("R999")
+
+    def test_rules_for_none_is_all(self):
+        assert [r.code for r in rules_for(None)] == [r.code for r in all_rules()]

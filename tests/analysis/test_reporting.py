@@ -1,0 +1,59 @@
+"""Text/JSON renderers and the stable report schema."""
+
+import json
+
+from repro.analysis.core import AnalysisReport, Finding
+from repro.analysis.reporting import render_json, render_text
+
+
+def _report():
+    return AnalysisReport(
+        findings=[
+            Finding("R001", "src/a.py", 3, 4, "wall-clock read"),
+            Finding("R003", "src/b.py", 7, 0, "mixes units"),
+        ],
+        suppressed=2,
+        files_checked=5,
+        rules_run=("R001", "R003"),
+    )
+
+
+class TestText:
+    def test_one_line_per_finding(self):
+        out = render_text(_report())
+        assert "src/a.py:3:4: R001 wall-clock read" in out
+        assert "src/b.py:7:0: R003 mixes units" in out
+
+    def test_summary_trailer(self):
+        out = render_text(_report())
+        assert "2 finding(s) in 5 file(s) [R001 x1, R003 x1]; 2 suppressed" in out
+
+    def test_clean_trailer(self):
+        out = render_text(AnalysisReport(files_checked=3, rules_run=("R001",)))
+        assert out == "clean: 3 file(s), rules R001\n"
+
+
+class TestJSON:
+    def test_schema_version_1(self):
+        doc = json.loads(render_json(_report()))
+        assert doc["version"] == 1
+        assert set(doc) == {
+            "version", "files_checked", "rules_run", "findings",
+            "suppressed", "by_rule", "exit_code",
+        }
+
+    def test_round_trip_values(self):
+        doc = json.loads(render_json(_report()))
+        assert doc["exit_code"] == 1
+        assert doc["files_checked"] == 5
+        assert doc["suppressed"] == 2
+        assert doc["by_rule"] == {"R001": 1, "R003": 1}
+        assert doc["findings"][0] == {
+            "rule": "R001", "path": "src/a.py", "line": 3, "col": 4,
+            "message": "wall-clock read",
+        }
+
+    def test_clean_report_exit_zero(self):
+        doc = json.loads(render_json(AnalysisReport(files_checked=1)))
+        assert doc["exit_code"] == 0
+        assert doc["findings"] == []

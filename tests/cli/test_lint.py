@@ -1,0 +1,49 @@
+"""The `repro lint` subcommand: exit codes, formats, rule selection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parents[1] / "analysis" / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestLintCommand:
+    def test_repo_source_is_clean(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_fixture_exits_nonzero(self, capsys):
+        rc = main(["lint", str(FIXTURES / "r003_bad.py")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "R003" in out
+
+    def test_json_format_parses(self, capsys):
+        assert main(["lint", "--format", "json", str(SRC)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["exit_code"] == 0
+
+    def test_rule_selection(self, capsys):
+        rc = main(["lint", "--rules", "R001", str(FIXTURES / "r003_bad.py")])
+        assert rc == 0  # R003 violations are invisible to an R001-only run
+        rc = main(["lint", "--rules", "R001,R003", str(FIXTURES / "r003_bad.py")])
+        assert rc == 1
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--rules", "R999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005"):
+            assert code in out
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--format", "yaml"])

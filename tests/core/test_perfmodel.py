@@ -1,5 +1,6 @@
 """The analytic performance model: invariants and composition."""
 
+import numpy as np
 import pytest
 
 from repro.compilers.gcc import get_compiler
@@ -126,3 +127,46 @@ class TestCalibration:
         sig = signature_for("ep", "C")
         pm.predict(m, sig, GCC15, 1)
         assert ("sg2044", "ep") in pm._kappa_cache
+
+
+class TestScalarGridTwins:
+    """Every scalar cost-term view matches its `_grid` twin bit for bit."""
+
+    NS = (1, 2, 4, 8, 16, 32, 64)
+
+    def test_effective_threads_parity(self):
+        sig = signature_for("mg", "C")
+        m = get_machine("sg2044")
+        grid = PerformanceModel._effective_threads_grid(
+            sig, m, np.asarray(self.NS, dtype=np.int64)
+        )
+        for i, n in enumerate(self.NS):
+            assert PerformanceModel._effective_threads(sig, m, n) == grid[i]
+
+    def test_communication_bytes_parity(self):
+        sig = signature_for("ft", "C")
+        m = get_machine("sg2042")
+        grid = PerformanceModel._communication_bytes_grid(
+            sig, m, np.asarray(self.NS, dtype=np.int64)
+        )
+        for i, n in enumerate(self.NS):
+            assert PerformanceModel._communication_bytes(sig, m, n) == grid[i]
+
+    def test_latency_time_parity(self):
+        sig = signature_for("cg", "C")
+        m = get_machine("sg2044")
+        spill = 0.5
+        grid = PerformanceModel._latency_time_grid(
+            m,
+            sig,
+            np.asarray(self.NS, dtype=np.int64),
+            np.full(len(self.NS), spill),
+        )
+        for i, n in enumerate(self.NS):
+            assert PerformanceModel._latency_time(m, sig, n, spill) == grid[i]
+
+    def test_single_thread_baselines(self):
+        sig = signature_for("mg", "C")
+        m = get_machine("sg2044")
+        assert PerformanceModel._effective_threads(sig, m, 1) == 1.0
+        assert PerformanceModel._communication_bytes(sig, m, 1) == 0.0
