@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test bench bench-full
+.PHONY: lint test bench bench-full stats
 
-# Repo-aware static analysis (R001-R005), then ruff/mypy when installed.
+# Repo-aware static analysis (R001-R006), then ruff/mypy when installed.
 lint:
 	$(PYTHON) -m repro lint --format json
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
@@ -15,6 +15,14 @@ lint:
 
 test: lint
 	$(PYTHON) -m pytest -x -q
+	@# Golden telemetry snapshots must not depend on test order: rerun
+	@# tests/obs alone, with random ordering disabled if the plugin exists.
+	$(PYTHON) -m pytest tests/obs -q -p no:randomly
+
+# Telemetry summary for one artifact (override with ARTIFACT=figure5 etc.).
+ARTIFACT ?= table6
+stats:
+	$(PYTHON) -m repro stats $(ARTIFACT)
 
 # CI smoke: import-check and run every benchmark body once, no timing.
 bench:

@@ -1,7 +1,7 @@
-"""Built-in rules.  Importing this package registers R001-R005."""
+"""Built-in rules.  Importing this package registers R001-R006."""
 
 from __future__ import annotations
 
-from . import catalog, concurrency, determinism, parity, units  # noqa: F401
+from . import catalog, concurrency, determinism, parity, telemetry, units  # noqa: F401
 
-__all__ = ["determinism", "concurrency", "units", "catalog", "parity"]
+__all__ = ["determinism", "concurrency", "units", "catalog", "parity", "telemetry"]

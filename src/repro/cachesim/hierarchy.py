@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 from .cache import SetAssociativeCache
 
 __all__ = ["LevelResult", "CacheHierarchy", "xeon8170_hierarchy"]
@@ -83,6 +85,9 @@ class CacheHierarchy:
         for i, (a, st) in enumerate(zip(addresses.tolist(), streaming_mask.tolist())):
             levels[i] = access(a, st)
         counts = np.bincount(levels, minlength=5)
+        obs.incr("cachesim.accesses", len(addresses))
+        obs.incr("cachesim.line_fills", len(addresses) - int(counts[1]))
+        obs.incr("cachesim.dram_accesses", int(counts[4]))
         return (
             LevelResult(
                 l1_hits=int(counts[1]),

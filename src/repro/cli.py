@@ -16,7 +16,9 @@ Commands
 ``export``       write every table and figure to a directory as CSV
 ``score``        model-vs-paper error scorecard across all tables
 ``lint``         repo-aware static analysis (determinism, locking, units,
-                 catalog invariants, model parity)
+                 catalog invariants, model parity, telemetry discipline)
+``stats``        regenerate one table/figure with telemetry enabled and
+                 print the span tree, counters and timings
 """
 
 from __future__ import annotations
@@ -39,16 +41,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     jobs_help = "worker threads for sweep execution (default: REPRO_JOBS or auto)"
+    telemetry_help = "write a schema-v1 telemetry JSON report to PATH"
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 9))
     p.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    p.add_argument("--telemetry", metavar="PATH", default=None, help=telemetry_help)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int, choices=range(1, 7))
     p.add_argument("--csv", action="store_true")
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    p.add_argument("--telemetry", metavar="PATH", default=None, help=telemetry_help)
 
     p = sub.add_parser("npb", help="run one NPB benchmark functionally")
     p.add_argument("kernel", choices=["is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"])
@@ -88,11 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("export", help="write every table/figure as CSV")
     p.add_argument("directory")
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    p.add_argument("--telemetry", metavar="PATH", default=None, help=telemetry_help)
 
     p = sub.add_parser("score", help="model-vs-paper error scorecard")
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
-    p = sub.add_parser("lint", help="repo-aware static analysis (R001-R005)")
+    p = sub.add_parser(
+        "stats",
+        help="regenerate an artifact with telemetry enabled and print the report",
+    )
+    p.add_argument(
+        "artifact",
+        help="tableN (1-8) or figureN (1-6), e.g. table6, figure5, fig5",
+    )
+    p.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+
+    p = sub.add_parser("lint", help="repo-aware static analysis (R001-R006)")
     p.add_argument(
         "paths",
         nargs="*",
@@ -118,10 +141,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _telemetry_start(path: str | None):
+    """Install a fresh recorder when ``--telemetry PATH`` was given."""
+    if path is None:
+        return None
+    from repro import obs
+
+    return obs.install()
+
+
+def _telemetry_finish(path: str | None, recorder) -> None:
+    if recorder is None:
+        return
+    from pathlib import Path
+
+    from repro import obs
+    from repro.obs.export import render_json
+
+    obs.disable()
+    Path(path).write_text(render_json(recorder))
+    print(f"telemetry written to {path}", file=sys.stderr)
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.harness import build_table
 
+    recorder = _telemetry_start(args.telemetry)
     result = build_table(args.number)
+    _telemetry_finish(args.telemetry, recorder)
     sys.stdout.write(result.to_csv() if args.csv else result.render())
     return 0
 
@@ -129,7 +176,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness import build_figure
 
+    recorder = _telemetry_start(args.telemetry)
     result = build_figure(args.number)
+    _telemetry_finish(args.telemetry, recorder)
     sys.stdout.write(result.to_csv() if args.csv else result.render())
     return 0
 
@@ -287,9 +336,50 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.harness.export import export_all
 
+    recorder = _telemetry_start(args.telemetry)
     written = export_all(args.directory)
+    _telemetry_finish(args.telemetry, recorder)
     for path in written:
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import re
+
+    from repro import obs
+    from repro.obs.export import render_json, render_text
+
+    match = re.fullmatch(r"(table|figure|fig|t|f)\s*-?\s*(\d+)", args.artifact.lower())
+    if match is None:
+        print(
+            f"repro: error: unrecognised artifact {args.artifact!r} "
+            "(expected e.g. table6 or figure5)",
+            file=sys.stderr,
+        )
+        return 2
+    kind = "figure" if match.group(1) in {"figure", "fig", "f"} else "table"
+    number = int(match.group(2))
+
+    recorder = obs.install()
+    try:
+        if kind == "table":
+            from repro.harness import build_table
+
+            build_table(number)
+        else:
+            from repro.harness import build_figure
+
+            build_figure(number)
+    except KeyError:
+        print(f"repro: error: no such artifact: {kind}{number}", file=sys.stderr)
+        return 2
+    finally:
+        obs.disable()
+    if args.fmt == "json":
+        sys.stdout.write(render_json(recorder))
+    else:
+        sys.stdout.write(render_text(recorder))
     return 0
 
 
@@ -339,6 +429,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "roofline": _cmd_roofline,
     "export": _cmd_export,
+    "stats": _cmd_stats,
     "score": _cmd_score,
     "lint": _cmd_lint,
 }

@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import obs
 from repro.compilers.gcc import default_compiler_for, get_compiler
 from repro.machines.catalog import get_machine
 
@@ -108,6 +109,7 @@ class ExperimentRunner:
         compiler_name = config.resolved_compiler()
         compiler = get_compiler(compiler_name)
 
+        obs.incr("model.scalar_calls")
         prediction = self.model.predict(
             machine, signature, compiler, config.n_threads, config.vectorise
         )
@@ -143,6 +145,8 @@ class ExperimentRunner:
             signature = signature_for(kernel, npb_class)
             compiler = get_compiler(compiler_name)
             thread_counts = [configs[i].n_threads for i in indices]
+            obs.incr("model.batch_calls")
+            obs.incr("model.batch_points", len(indices))
             preds = self.model.predict_batch(
                 machine, signature, compiler, thread_counts, vectorise
             )

@@ -31,6 +31,8 @@ import threading
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
+from repro import obs
+
 from .experiment import DEFAULT_RUNS, ExperimentConfig, ExperimentRunner
 from .perfmodel import DNRError
 from .results import ExperimentResult
@@ -120,6 +122,18 @@ class SweepEngine:
     Results are memoised per exact (seed, noise, calibration, config)
     tuple; "Did Not Run" configurations cache their :class:`DNRError`
     the same way, so a grid with DNR holes is still cheap to re-expand.
+
+    Concurrency: the engine is safe to hammer from many threads.  A
+    single-flight table (``_inflight``) guarantees each cache key is
+    executed at most once even when concurrent :meth:`run_many` calls
+    race on the same cold keys -- late arrivals wait on the claimant's
+    event instead of duplicating work.
+
+    Observability: cache hits/misses, executed configs/groups and DNR
+    outcomes are mirrored into :mod:`repro.obs` counters, and every
+    batch runs under a ``run_many`` span with one ``group[kernel/class]``
+    child per thread-sweep family.  ``dnr_configs`` counts, on the return
+    path, every requested config whose (possibly cached) result is a DNR.
     """
 
     def __init__(
@@ -128,9 +142,11 @@ class SweepEngine:
         self.runner = runner or ExperimentRunner()
         self.jobs = self._resolve_jobs(jobs)
         self._results: dict[tuple, ExperimentResult | DNRError] = {}
+        self._inflight: dict[tuple, threading.Event] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.dnr_configs = 0
 
     @staticmethod
     def _resolve_jobs(jobs: int | None) -> int:
@@ -165,11 +181,12 @@ class SweepEngine:
         )
 
     def clear_cache(self) -> None:
-        """Evict all memoised results (and reset the hit/miss counters)."""
+        """Evict all memoised results (and reset the hit/miss/DNR counters)."""
         with self._lock:
             self._results.clear()
             self.hits = 0
             self.misses = 0
+            self.dnr_configs = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -196,19 +213,118 @@ class SweepEngine:
             raise ValueError(f"on_dnr must be 'raise' or 'none', got {on_dnr!r}")
         configs = list(configs)
         keys = [self.cache_key(c) for c in configs]
+        obs.incr("sweep.configs_requested", len(configs))
 
+        with obs.span("run_many"):
+            pending, waiting, events = self._claim(keys, configs)
+            while pending or waiting:
+                if pending:
+                    self._execute_pending(pending)
+                for event in events:
+                    event.wait()
+                if not waiting:
+                    break
+                # Keys we merely waited on may be orphans: the claimant died
+                # before storing (its claim was released by the finally in
+                # _execute_pending).  Take those over; our own pending keys
+                # are guaranteed stored (or we would have raised).
+                with self._lock:
+                    missing = {
+                        key: config
+                        for key, config in waiting.items()
+                        if key not in self._results
+                    }
+                if not missing:
+                    break
+                pending, waiting, events = self._reclaim(missing)
+
+        with self._lock:
+            values = [self._results[key] for key in keys]
+
+        out: list[ExperimentResult | None] = []
+        dnr_count = 0
+        first_dnr: DNRError | None = None
+        for value in values:
+            if isinstance(value, DNRError):
+                dnr_count += 1
+                if first_dnr is None:
+                    first_dnr = value
+                out.append(None)
+            else:
+                out.append(value)
+        if dnr_count:
+            with self._lock:
+                self.dnr_configs += dnr_count
+        obs.incr("sweep.dnr_configs", dnr_count)
+        if first_dnr is not None and on_dnr == "raise":
+            raise first_dnr
+        return out
+
+    def _claim(
+        self, keys: list[tuple], configs: list[ExperimentConfig]
+    ) -> tuple[
+        dict[tuple, ExperimentConfig],
+        dict[tuple, ExperimentConfig],
+        list[threading.Event],
+    ]:
+        """Classify a batch under the lock, claiming cold keys for this caller.
+
+        A key already cached (or duplicated earlier in the batch, or being
+        executed by a concurrent caller) counts as a hit; each unique cold
+        key counts as one miss and is claimed in the single-flight table so
+        no other caller executes it.  Returns the claimed configs, the
+        configs being executed by concurrent callers (``waiting``), and the
+        events signalling those concurrent executions.
+        """
         pending: dict[tuple, ExperimentConfig] = {}
+        waiting: dict[tuple, ExperimentConfig] = {}
+        events: list[threading.Event] = []
+        hits = misses = 0
         with self._lock:
             for key, config in zip(keys, configs):
-                if key in self._results:
-                    self.hits += 1
-                elif key not in pending:
-                    self.misses += 1
-                    pending[key] = config
+                if key in self._results or key in pending:
+                    hits += 1
+                elif key in self._inflight:
+                    hits += 1
+                    if key not in waiting:
+                        waiting[key] = config
+                        events.append(self._inflight[key])
                 else:
-                    self.hits += 1
+                    misses += 1
+                    pending[key] = config
+                    self._inflight[key] = threading.Event()
+            self.hits += hits
+            self.misses += misses
+        obs.incr("sweep.cache_hits", hits)
+        obs.incr("sweep.cache_misses", misses)
+        return pending, waiting, events
 
-        if pending:
+    def _reclaim(
+        self, missing: dict[tuple, ExperimentConfig]
+    ) -> tuple[
+        dict[tuple, ExperimentConfig],
+        dict[tuple, ExperimentConfig],
+        list[threading.Event],
+    ]:
+        """Re-claim keys whose original claimant failed (no hit/miss counts)."""
+        pending: dict[tuple, ExperimentConfig] = {}
+        waiting: dict[tuple, ExperimentConfig] = {}
+        events: list[threading.Event] = []
+        with self._lock:
+            for key, config in missing.items():
+                if key in self._results:
+                    continue
+                if key in self._inflight:
+                    waiting[key] = config
+                    events.append(self._inflight[key])
+                else:
+                    pending[key] = config
+                    self._inflight[key] = threading.Event()
+        return pending, waiting, events
+
+    def _execute_pending(self, pending: dict[tuple, ExperimentConfig]) -> None:
+        """Execute claimed configs grouped into families, then release claims."""
+        try:
             families: dict[tuple, list[ExperimentConfig]] = {}
             for config in pending.values():
                 fam = (
@@ -220,49 +336,55 @@ class SweepEngine:
                     config.runs,
                 )
                 families.setdefault(fam, []).append(config)
-            groups = list(families.values())
-            self._execute_groups(groups)
-
-        out: list[ExperimentResult | None] = []
-        with self._lock:
-            for key in keys:
-                value = self._results[key]
-                if isinstance(value, DNRError):
-                    if on_dnr == "raise":
-                        raise value
-                    out.append(None)
-                else:
-                    out.append(value)
-        return out
+            self._execute_groups(list(families.values()))
+        finally:
+            # Release claims even on failure so waiters re-classify instead
+            # of blocking forever; successful paths have stored results by
+            # the time the events fire.
+            with self._lock:
+                for key in pending:
+                    event = self._inflight.pop(key, None)
+                    if event is not None:
+                        event.set()
 
     def _execute_groups(self, groups: list[list[ExperimentConfig]]) -> None:
+        # Group spans are opened here, in the submitting thread, so the
+        # span tree's shape is identical for serial and parallel runs.
+        handles = [
+            obs.open_span(f"group[{group[0].kernel}/{group[0].npb_class}]")
+            for group in groups
+        ]
         if self.jobs > 1 and len(groups) > 1:
             try:
                 workers = min(self.jobs, len(groups))
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    list(pool.map(self._execute_group, groups))
+                    list(pool.map(self._execute_group, groups, handles))
                 return
             except (RuntimeError, OSError):
                 # Thread-starved environments (no spare OS threads, or an
                 # interpreter at shutdown) fall back to serial execution.
                 pass
-        for group in groups:
-            self._execute_group(group)
+        for group, handle in zip(groups, handles):
+            self._execute_group(group, handle)
 
-    def _execute_group(self, group: list[ExperimentConfig]) -> None:
+    def _execute_group(self, group: list[ExperimentConfig], span_handle=None) -> None:
         """Run one thread-sweep family and store its results (or its DNR)."""
-        try:
-            results = self.runner.run_many(group)
-        except DNRError as exc:
-            # DNR is a property of (machine, kernel, class), independent of
-            # thread count -- the whole family shares the verdict.
+        with obs.activate(span_handle):
+            try:
+                results = self.runner.run_many(group)
+            except DNRError as exc:
+                # DNR is a property of (machine, kernel, class), independent
+                # of thread count -- the whole family shares the verdict.
+                obs.incr("sweep.dnr_raises")
+                with self._lock:
+                    for config in group:
+                        self._results[self.cache_key(config)] = exc
+                return
+            obs.incr("sweep.groups_executed")
+            obs.incr("sweep.configs_executed", len(group))
             with self._lock:
-                for config in group:
-                    self._results[self.cache_key(config)] = exc
-            return
-        with self._lock:
-            for config, result in zip(group, results):
-                self._results[self.cache_key(config)] = result
+                for config, result in zip(group, results):
+                    self._results[self.cache_key(config)] = result
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Memoised single-config execution (raises on DNR, like the runner)."""

@@ -15,12 +15,12 @@ compute-bound.  As with HPL, this module supplies:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.core.signature import CommPattern, KernelSignature
 
 __all__ = ["HPCGResult", "build_poisson27", "run_hpcg_host", "hpcg_signature"]
@@ -104,23 +104,23 @@ def run_hpcg_host(grid: int = 16, iterations: int = 25) -> HPCGResult:
     sym_err = abs(float(xt @ (a @ yt)) - float(yt @ (a @ xt)))
     sym_err /= max(1.0, float(np.abs(xt @ (a @ yt))))
 
-    t0 = time.perf_counter()  # repro: noqa[R001] -- host-side wall-clock measurement
-    x = np.zeros(n)
-    r = b - a @ x
-    z = _symmetric_gauss_seidel(a, r)
-    p = z.copy()
-    rz = float(r @ z)
-    b_norm = float(np.linalg.norm(b))
-    for _ in range(iterations):
-        q = a @ p
-        alpha = rz / float(p @ q)
-        x += alpha * p
-        r -= alpha * q
+    with obs.host_timer("hpcg.solve") as timer:
+        x = np.zeros(n)
+        r = b - a @ x
         z = _symmetric_gauss_seidel(a, r)
-        rz_new = float(r @ z)
-        p = z + (rz_new / rz) * p
-        rz = rz_new
-    elapsed = time.perf_counter() - t0  # repro: noqa[R001] -- host-side wall-clock measurement
+        p = z.copy()
+        rz = float(r @ z)
+        b_norm = float(np.linalg.norm(b))
+        for _ in range(iterations):
+            q = a @ p
+            alpha = rz / float(p @ q)
+            x += alpha * p
+            r -= alpha * q
+            z = _symmetric_gauss_seidel(a, r)
+            rz_new = float(r @ z)
+            p = z + (rz_new / rz) * p
+            rz = rz_new
+    elapsed_s = timer.elapsed_s
 
     rel = float(np.linalg.norm(b - a @ x)) / b_norm
     # HPCG flop accounting: per iteration ~ 2 nnz (SpMV) + 4 nnz (SymGS)
@@ -129,8 +129,8 @@ def run_hpcg_host(grid: int = 16, iterations: int = 25) -> HPCGResult:
     return HPCGResult(
         grid=grid,
         iterations=iterations,
-        time_s=elapsed,
-        gflops=flops / elapsed / 1e9,
+        time_s=elapsed_s,
+        gflops=flops / elapsed_s / 1e9,
         final_relative_residual=rel,
         symmetry_error=sym_err,
         verified=bool(rel < 1e-6 and sym_err < 1e-10),

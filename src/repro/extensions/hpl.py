@@ -14,11 +14,11 @@ module supplies both sides the way the NPB kernels do:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.signature import CommPattern, KernelSignature
 
 __all__ = ["HPLResult", "run_hpl_host", "hpl_signature", "lu_factor_blocked"]
@@ -82,15 +82,15 @@ def run_hpl_host(n: int = 512, block: int = 64, seed: int = 7) -> HPLResult:
     a0 = rng.uniform(-0.5, 0.5, size=(n, n))
     b = rng.uniform(-0.5, 0.5, size=n)
     a = a0.copy()
-    t0 = time.perf_counter()  # repro: noqa[R001] -- host-side wall-clock measurement
-    piv = lu_factor_blocked(a, block)
-    # Forward/back substitution.
-    pb = b[piv]
-    l = np.tril(a, -1) + np.eye(n)
-    u = np.triu(a)
-    y = np.linalg.solve(l, pb)  # unit-lower solve
-    x = np.linalg.solve(u, y)
-    elapsed = time.perf_counter() - t0  # repro: noqa[R001] -- host-side wall-clock measurement
+    with obs.host_timer("hpl.solve") as timer:
+        piv = lu_factor_blocked(a, block)
+        # Forward/back substitution.
+        pb = b[piv]
+        l = np.tril(a, -1) + np.eye(n)
+        u = np.triu(a)
+        y = np.linalg.solve(l, pb)  # unit-lower solve
+        x = np.linalg.solve(u, y)
+    elapsed_s = timer.elapsed_s
 
     eps = np.finfo(np.float64).eps
     resid = np.linalg.norm(a0 @ x - b, np.inf)
@@ -98,8 +98,8 @@ def run_hpl_host(n: int = 512, block: int = 64, seed: int = 7) -> HPLResult:
     scaled = resid / denom
     return HPLResult(
         n=n,
-        time_s=elapsed,
-        gflops=_flops(n) / elapsed / 1e9,
+        time_s=elapsed_s,
+        gflops=_flops(n) / elapsed_s / 1e9,
         residual=float(scaled),
         verified=bool(scaled < 16.0),  # the canonical HPL threshold
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.experiment import ExperimentConfig
 from repro.core.sweep import default_engine, paper_vectorise
 from repro.machines.catalog import PAPER_HPC_MACHINES, get_machine
@@ -181,6 +182,10 @@ FIGURE_BUILDERS = {
 def build_figure(number: int) -> FigureResult:
     """Regenerate one paper figure by number (1-6)."""
     try:
-        return FIGURE_BUILDERS[number]()
+        builder = FIGURE_BUILDERS[number]
     except KeyError:
         raise KeyError(f"the paper has figures 1-6; no figure {number}") from None
+    with obs.span(f"figure{number}"):
+        result = builder()
+    obs.incr("harness.figures_built")
+    return result

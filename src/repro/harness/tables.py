@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.cachesim.stats import table1_profile
 from repro.core.experiment import ExperimentConfig
 from repro.core.metrics import percent_of, times_faster
@@ -341,6 +342,10 @@ TABLE_BUILDERS = {
 def build_table(number: int) -> TableResult:
     """Regenerate one paper table by number (1-8)."""
     try:
-        return TABLE_BUILDERS[number]()
+        builder = TABLE_BUILDERS[number]
     except KeyError:
         raise KeyError(f"the paper has tables 1-8; no table {number}") from None
+    with obs.span(f"table{number}"):
+        result = builder()
+    obs.incr("harness.tables_built")
+    return result

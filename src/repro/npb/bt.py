@@ -136,4 +136,4 @@ def run_bt(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         _u, errors, residuals = march_to_steady_state(
             problem, bt_step, p.iterations, dt
         )
-    return make_result("bt", npb_class, p, t.elapsed, errors, residuals)
+    return make_result("bt", npb_class, p, t.elapsed_s, errors, residuals)

@@ -312,7 +312,7 @@ def run_cg(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         name="cg",
         npb_class=npb_class,
         verified=bool(verified),
-        time_s=t.elapsed,
+        time_s=t.elapsed_s,
         total_mops=p.total_mops,
         details={
             "zeta": zeta,

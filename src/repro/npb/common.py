@@ -15,10 +15,11 @@ generation).
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro import obs
 
 __all__ = [
     "MASK46",
@@ -183,14 +184,20 @@ class BenchmarkResult:
 
 
 class Timer:
-    """Minimal wall-clock context manager for the functional runs."""
+    """Minimal wall-clock context manager for the functional runs.
+
+    Timing goes through :func:`repro.obs.host_timer`, the package's one
+    sanctioned wall-clock site, so functional-run intervals land in the
+    telemetry report's ``timings`` section when a recorder is installed.
+    """
 
     def __init__(self) -> None:
-        self.elapsed = 0.0
+        self.elapsed_s = 0.0
 
     def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()  # repro: noqa[R001] -- host-side wall-clock measurement
+        self._timer = obs.host_timer("npb.functional").__enter__()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.elapsed = time.perf_counter() - self._t0  # repro: noqa[R001] -- host-side wall-clock measurement
+        self._timer.__exit__(*exc)
+        self.elapsed_s = self._timer.elapsed_s

@@ -101,7 +101,7 @@ def run_ep(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         name="ep",
         npb_class=npb_class,
         verified=verified,
-        time_s=t.elapsed,
+        time_s=t.elapsed_s,
         total_mops=p.total_mops,
         details={
             "sx": sx,

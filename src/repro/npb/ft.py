@@ -101,7 +101,7 @@ def run_ft(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         name="ft",
         npb_class=npb_class,
         verified=rt_ok and decay_ok and finite_ok,
-        time_s=t.elapsed,
+        time_s=t.elapsed_s,
         total_mops=p.total_mops,
         details={
             "checksum1_re": checksums[0].real,

@@ -78,7 +78,7 @@ def run_is(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         name="is",
         npb_class=npb_class,
         verified=bool(partial_ok and full_ok),
-        time_s=t.elapsed,
+        time_s=t.elapsed_s,
         total_mops=p.total_mops,
         details={
             "n_keys": float(p.n_keys),

@@ -171,4 +171,4 @@ def run_lu(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         _u, errors, residuals = march_to_steady_state(
             problem, lu_step_factory(hyper), p.iterations, dt
         )
-    return make_result("lu", npb_class, p, t.elapsed, errors, residuals)
+    return make_result("lu", npb_class, p, t.elapsed_s, errors, residuals)

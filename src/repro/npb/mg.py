@@ -201,7 +201,7 @@ def run_mg(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         name="mg",
         npb_class=npb_class,
         verified=bool(decreasing and converged),
-        time_s=t.elapsed,
+        time_s=t.elapsed_s,
         total_mops=p.total_mops,
         details={
             "initial_rnorm": r0,

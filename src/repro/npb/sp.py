@@ -147,4 +147,4 @@ def run_sp(npb_class: NPBClass | str = NPBClass.S) -> BenchmarkResult:
         _u, errors, residuals = march_to_steady_state(
             problem, sp_step, p.iterations, dt
         )
-    return make_result("sp", npb_class, p, t.elapsed, errors, residuals)
+    return make_result("sp", npb_class, p, t.elapsed_s, errors, residuals)

@@ -1,0 +1,80 @@
+"""Report renderers for a telemetry recorder: schema-v1 JSON and a text tree.
+
+The JSON schema (version 1) mirrors the stable-report convention of
+``repro.analysis.reporting`` and is covered by golden tests::
+
+    {
+      "version": 1,
+      "counters": {"<name>": <int>, ...},          # sorted by name
+      "spans": {"name", "count", "children"},      # the session tree
+      "timings": {"<name>": {"total_s": <float>,   # wall-clock; VOLATILE
+                             "count": <int>}, ...}
+    }
+
+``counters`` and ``spans`` are deterministic (byte-identical across
+serial, parallel and cached executions of the same work); ``timings`` is
+the one explicitly volatile section -- it only ever contains wall-clock
+intervals measured through :func:`repro.obs.host_timer`.  Consumers that
+diff reports (the golden regression tests, CI) compare everything and
+scrub ``timings``.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["SCHEMA_VERSION", "report_dict", "render_json", "render_text"]
+
+SCHEMA_VERSION = 1
+
+
+def report_dict(recorder, include_timings: bool = True) -> dict:
+    """The versioned report for a recorder (Null or Telemetry).
+
+    ``include_timings=False`` drops the volatile section entirely --
+    what the counter-identity tests compare.
+    """
+    report = {
+        "version": SCHEMA_VERSION,
+        "counters": dict(sorted(recorder.counters_snapshot().items())),
+        "spans": recorder.span_tree(),
+    }
+    if include_timings:
+        report["timings"] = {
+            name: {"total_s": total, "count": count}
+            for name, (total, count) in sorted(recorder.timings_snapshot().items())
+        }
+    return report
+
+
+def render_json(recorder) -> str:
+    return json.dumps(report_dict(recorder), indent=2) + "\n"
+
+
+def _tree_lines(node: dict, depth: int, lines: list[str]) -> None:
+    lines.append(f"  {'  ' * depth}{node['name']} x{node['count']}")
+    for child in node["children"]:
+        _tree_lines(child, depth + 1, lines)
+
+
+def render_text(recorder) -> str:
+    """Human-readable report: span tree, counters, then timings."""
+    report = report_dict(recorder)
+    lines = [f"telemetry report (schema v{report['version']})", "spans:"]
+    _tree_lines(report["spans"], 0, lines)
+    lines.append("counters:")
+    counters = report["counters"]
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.extend(f"  {name:<{width}}  {value}" for name, value in counters.items())
+    else:
+        lines.append("  (none)")
+    timings = report["timings"]
+    if timings:
+        lines.append("timings (wall-clock, volatile):")
+        width = max(len(name) for name in timings)
+        lines.extend(
+            f"  {name:<{width}}  {cell['total_s']:.6f} s over {cell['count']} interval(s)"
+            for name, cell in timings.items()
+        )
+    return "\n".join(lines) + "\n"

@@ -14,11 +14,11 @@ the benchmark-shaped interface over it.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.machines.machine import Machine
 
 __all__ = ["StreamResult", "run_stream_host", "modelled_bandwidth", "STREAM_KERNELS"]
@@ -79,16 +79,16 @@ def run_stream_host(
         c = np.zeros(n_elements)
         best = float("inf")
         for _ in range(trials):
-            t0 = time.perf_counter()  # repro: noqa[R001] -- host-side wall-clock measurement
-            if kernel == "copy":
-                c[:] = a
-            elif kernel == "scale":
-                b[:] = _SCALAR * c
-            elif kernel == "add":
-                c[:] = a + b
-            else:  # triad
-                a[:] = b + _SCALAR * c
-            best = min(best, time.perf_counter() - t0)  # repro: noqa[R001] -- host-side wall-clock measurement
+            with obs.host_timer(f"stream.{kernel}") as timer:
+                if kernel == "copy":
+                    c[:] = a
+                elif kernel == "scale":
+                    b[:] = _SCALAR * c
+                elif kernel == "add":
+                    c[:] = a + b
+                else:  # triad
+                    a[:] = b + _SCALAR * c
+            best = min(best, timer.elapsed_s)
         ea, eb, ec = _expected_final(kernel, trials)
         verified = bool(
             np.allclose(a[::max(1, n_elements // 17)], ea)

@@ -1,0 +1,22 @@
+"""R006 known-bad: wall-clock reads and span construction outside repro.obs."""
+
+import time
+from time import monotonic as mono
+
+from repro.obs.recorder import Span
+
+
+def direct_perf_counter():
+    return time.perf_counter()
+
+
+def aliased_monotonic():
+    return mono()
+
+
+def process_time_read():
+    return time.process_time()
+
+
+def hand_built_span():
+    return Span("rogue")

@@ -1,0 +1,21 @@
+"""R006 known-good: all timing and spans flow through repro.obs."""
+
+from repro import obs
+
+
+def measured_interval(payload):
+    with obs.host_timer("fixture.work") as timer:
+        payload()
+    return timer.elapsed_s
+
+
+def counted_section(payload):
+    with obs.span("fixture.section"):
+        obs.incr("fixture.calls")
+        return payload()
+
+
+def submitted_group(worker):
+    handle = obs.open_span("fixture.group")
+    with obs.activate(handle):
+        return worker()

@@ -17,6 +17,7 @@ CASES = [
     ("R003", 4),
     ("R004", 4),
     ("R005", 2),
+    ("R006", 4),
 ]
 
 
@@ -190,6 +191,40 @@ class TestParityProjectChecks:
         )
         report = run_analysis([tmp_path], rules_for(["R005"]), root=tmp_path)
         assert any("incomplete" in f.message for f in report.findings)
+
+
+class TestTelemetrySpecifics:
+    def test_obs_package_is_exempt(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "obs"
+        pkg.mkdir(parents=True)
+        f = pkg / "recorder.py"
+        f.write_text("import time\nt = time.perf_counter()\n")
+        report = run_analysis([f], rules_for(["R006"]), root=tmp_path)
+        assert report.findings == []
+
+    def test_same_code_outside_obs_is_flagged(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("import time\nt = time.perf_counter()\n")
+        assert _count(f, "R006") == 1
+
+    def test_timing_message_points_to_host_timer(self):
+        report = _run("R006", FIXTURES / "r006_bad.py")
+        assert any("host_timer" in f.message for f in report.findings)
+
+    def test_span_construction_message(self):
+        report = _run("R006", FIXTURES / "r006_bad.py")
+        assert any("open_span" in f.message for f in report.findings)
+
+    def test_obs_helpers_not_flagged(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "from repro import obs\n"
+            "def f(w):\n"
+            "    with obs.host_timer('x') as t:\n"
+            "        w()\n"
+            "    return t.elapsed_s\n"
+        )
+        assert _count(f, "R006") == 0
 
 
 def _count(path, code):

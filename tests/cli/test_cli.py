@@ -76,3 +76,49 @@ class TestExplorationCommands:
         assert main(["score"]) == 0
         out = capsys.readouterr().out
         assert "anchored" in out and "emergent" in out
+
+
+class TestStatsCommand:
+    def test_stats_text_tree(self, capsys):
+        assert main(["stats", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1" in out
+        assert "table6 x1" in out
+        assert "sweep.configs_requested" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "figure5", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert report["counters"]["harness.figures_built"] == 1
+        assert report["spans"]["children"][0]["name"] == "figure5"
+
+    def test_stats_accepts_loose_spellings(self, capsys):
+        assert main(["stats", "t1"]) == 0
+        assert "table1 x1" in capsys.readouterr().out
+
+    def test_stats_rejects_nonsense(self, capsys):
+        assert main(["stats", "bogus"]) == 2
+        assert "unrecognised artifact" in capsys.readouterr().err
+
+    def test_stats_rejects_unknown_number(self, capsys):
+        assert main(["stats", "table99"]) == 2
+        assert "no such artifact" in capsys.readouterr().err
+
+    def test_stats_leaves_telemetry_disabled(self):
+        from repro import obs
+
+        assert main(["stats", "table1"]) == 0
+        assert not obs.is_enabled()
+
+    def test_table_telemetry_flag_writes_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(["table", "6", "--telemetry", str(path)]) == 0
+        report = json.loads(path.read_text())
+        assert report["version"] == 1
+        assert report["counters"]["harness.tables_built"] == 1
+        assert "timings" in report

@@ -6,6 +6,21 @@ from repro.core.experiment import ExperimentRunner
 from repro.core.perfmodel import PerformanceModel
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden telemetry snapshots under tests/obs/golden/",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden snapshots instead of diffing."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def model() -> PerformanceModel:
     """One calibrated model reused across the whole test session."""

@@ -172,6 +172,43 @@ class TestSweepEngine:
         with pytest.raises(ValueError, match="on_dnr"):
             engine.run_many([], on_dnr="ignore")
 
+    def test_dnr_configs_counter_on_none_path(self):
+        engine = SweepEngine()
+        config = ExperimentConfig(machine="allwinner-d1", kernel="ft", npb_class="B")
+        assert engine.dnr_configs == 0
+        assert engine.try_run(config) is None
+        assert engine.dnr_configs == 1
+
+    def test_dnr_configs_counter_on_raise_path(self):
+        engine = SweepEngine()
+        config = ExperimentConfig(machine="allwinner-d1", kernel="ft", npb_class="B")
+        with pytest.raises(DNRError):
+            engine.run(config)
+        # The counter ticks before the raise: the DNR was still returned
+        # to (and observed by) this caller.
+        assert engine.dnr_configs == 1
+
+    def test_dnr_configs_counts_cached_replays(self):
+        engine = SweepEngine()
+        config = ExperimentConfig(machine="allwinner-d1", kernel="ft", npb_class="B")
+        ok = ExperimentConfig(machine="sg2044", kernel="mg")
+        assert engine.run_many([config, ok, config], on_dnr="none") == [
+            None,
+            engine.run(ok),
+            None,
+        ]
+        assert engine.dnr_configs == 2  # both slots, one cached family
+        assert engine.try_run(config) is None  # warm replay still counts
+        assert engine.dnr_configs == 3
+
+    def test_clear_cache_resets_dnr_configs(self):
+        engine = SweepEngine()
+        config = ExperimentConfig(machine="allwinner-d1", kernel="ft", npb_class="B")
+        engine.try_run(config)
+        assert engine.dnr_configs == 1
+        engine.clear_cache()
+        assert engine.dnr_configs == 0
+
     def test_jobs_validation(self):
         with pytest.raises(ValueError, match="jobs"):
             SweepEngine(jobs=0)

@@ -109,4 +109,4 @@ class TestTimer:
     def test_measures_elapsed(self):
         with Timer() as t:
             sum(range(1000))
-        assert t.elapsed >= 0.0
+        assert t.elapsed_s >= 0.0

@@ -1,0 +1,64 @@
+"""Seeded random experiment grids for the telemetry property suite.
+
+Everything here is a pure function of its ``seed`` argument so a failing
+property case replays exactly.  Grids deliberately include duplicate
+configs (exercising intra-batch dedup), shuffled orderings (exercising
+the order-independence of counters) and -- with some seeds -- the
+catalog's one known DNR combination (allwinner-d1 running FT class B).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.experiment import ExperimentConfig
+
+__all__ = ["random_grid", "grid_fingerprint"]
+
+#: Machines with enough cores to accept every thread count below.
+MACHINES = ("sg2044", "sg2042", "epyc7742", "thunderx2")
+KERNELS = ("is", "ep", "cg", "mg", "ft", "sp")
+CLASSES = ("B", "C")
+THREADS = (1, 2, 4, 8, 16)
+
+#: The catalog's known Did-Not-Run combination (paper Table 2 footnote).
+DNR_CONFIG = ExperimentConfig(
+    machine="allwinner-d1", kernel="ft", npb_class="B", n_threads=1
+)
+
+
+def random_grid(seed: int, max_configs: int = 100) -> list[ExperimentConfig]:
+    """A reproducible grid of 1..``max_configs`` configs for ``seed``."""
+    rng = random.Random(seed)
+    configs: list[ExperimentConfig] = []
+    for _ in range(rng.randint(2, 10)):
+        machine = rng.choice(MACHINES)
+        kernel = rng.choice(KERNELS)
+        npb_class = rng.choice(CLASSES)
+        n_threads = rng.sample(THREADS, k=rng.randint(1, len(THREADS)))
+        configs.extend(
+            ExperimentConfig(
+                machine=machine,
+                kernel=kernel,
+                npb_class=npb_class,
+                n_threads=n,
+            )
+            for n in n_threads
+        )
+    if rng.random() < 0.3:
+        configs.append(DNR_CONFIG)
+    # Duplicates exercise intra-batch dedup; the shuffle exercises
+    # order-independence of every counter.
+    dupes = rng.sample(configs, k=min(len(configs), rng.randint(0, 5)))
+    configs.extend(dupes)
+    rng.shuffle(configs)
+    return configs[:max_configs]
+
+
+def grid_fingerprint(configs: list[ExperimentConfig]) -> tuple[int, int]:
+    """(total, unique) sizes -- what the counter identities are phrased in."""
+    unique = {
+        (c.machine, c.kernel, c.npb_class, c.n_threads, c.compiler, c.vectorise)
+        for c in configs
+    }
+    return len(configs), len(unique)

@@ -1,0 +1,87 @@
+"""Golden regression tests: canonical telemetry for Table 6 and Figure 5.
+
+Each case clears every process-wide cache, records one artifact build
+under a fresh recorder and compares the deterministic report sections
+(counters + spans; ``timings`` scrubbed) against a checked-in snapshot.
+Run ``pytest tests/obs --update-golden`` after an *intentional* pipeline
+change to rewrite the snapshots; the diff then documents exactly how the
+work performed changed.
+"""
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.sweep import clear_caches
+from repro.obs.export import report_dict
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = [
+    ("table", 6, "table6.json"),
+    ("figure", 5, "figure5.json"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _capture(kind: str, number: int) -> str:
+    """Build one artifact cold under a fresh recorder; canonical JSON out."""
+    clear_caches()
+    rec = obs.install()
+    try:
+        if kind == "table":
+            from repro.harness import build_table
+
+            build_table(number)
+        else:
+            from repro.harness import build_figure
+
+            build_figure(number)
+    finally:
+        obs.disable()
+    report = report_dict(rec, include_timings=False)
+    return json.dumps(report, indent=2) + "\n"
+
+
+@pytest.mark.parametrize("kind,number,filename", CASES)
+def test_telemetry_matches_golden(kind, number, filename, update_golden):
+    actual = _capture(kind, number)
+    golden_path = GOLDEN_DIR / filename
+    if update_golden:
+        golden_path.write_text(actual)
+        return
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; "
+        "run `pytest tests/obs --update-golden` to create it"
+    )
+    expected = golden_path.read_text()
+    if actual != expected:
+        diff = "".join(
+            difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                actual.splitlines(keepends=True),
+                fromfile=f"golden/{filename}",
+                tofile=f"{kind}{number} (this run)",
+            )
+        )
+        pytest.fail(
+            f"telemetry for {kind}{number} drifted from its golden snapshot.\n"
+            "If the pipeline change is intentional, refresh with\n"
+            "    pytest tests/obs --update-golden\n"
+            f"and commit the diff:\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("kind,number,filename", CASES)
+def test_capture_is_stable_across_repeats(kind, number, filename):
+    """Two cold captures in one process agree byte for byte."""
+    assert _capture(kind, number) == _capture(kind, number)

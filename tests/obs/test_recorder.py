@@ -1,0 +1,197 @@
+"""Recorder unit tests: the null default, spans, counters, timers, export."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.export import SCHEMA_VERSION, render_json, render_text, report_dict
+from repro.obs.recorder import NullRecorder, TelemetryRecorder
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with the no-op recorder installed."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestModuleSlot:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+        assert isinstance(obs.recorder(), NullRecorder)
+
+    def test_install_swaps_in_a_fresh_recorder(self):
+        rec = obs.install()
+        assert obs.is_enabled()
+        assert obs.recorder() is rec
+        assert isinstance(rec, TelemetryRecorder)
+
+    def test_install_accepts_an_existing_recorder(self):
+        mine = TelemetryRecorder()
+        assert obs.install(mine) is mine
+        assert obs.recorder() is mine
+
+    def test_disable_restores_the_noop(self):
+        obs.install()
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_noop_helpers_are_inert(self):
+        obs.incr("x", 5)
+        with obs.span("a"):
+            obs.incr("y")
+        with obs.activate(obs.open_span("b")):
+            pass
+        rec = obs.recorder()
+        assert rec.counters_snapshot() == {}
+        assert rec.span_tree()["children"] == []
+
+
+class TestCounters:
+    def test_accumulate(self):
+        rec = obs.install()
+        obs.incr("sweep.cache_hits")
+        obs.incr("sweep.cache_hits", 4)
+        obs.incr("model.batch_calls", 2)
+        assert rec.counters_snapshot() == {
+            "sweep.cache_hits": 5,
+            "model.batch_calls": 2,
+        }
+
+    def test_snapshot_is_a_copy(self):
+        rec = obs.install()
+        obs.incr("a")
+        snap = rec.counters_snapshot()
+        snap["a"] = 99
+        assert rec.counters_snapshot() == {"a": 1}
+
+
+class TestSpans:
+    def test_merged_by_name_under_parent(self):
+        rec = obs.install()
+        for _ in range(3):
+            with obs.span("table6"):
+                with obs.span("run_many"):
+                    pass
+        tree = rec.span_tree()
+        assert tree["name"] == "session" and tree["count"] == 1
+        (t6,) = tree["children"]
+        assert (t6["name"], t6["count"]) == ("table6", 3)
+        (rm,) = t6["children"]
+        assert (rm["name"], rm["count"]) == ("run_many", 3)
+
+    def test_siblings_stay_distinct(self):
+        rec = obs.install()
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        assert [c["name"] for c in rec.span_tree()["children"]] == ["a", "b"]
+
+    def test_out_of_order_exit_raises(self):
+        rec = obs.install()
+        outer = rec.span("outer")
+        inner = rec.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_quiescent_tracks_open_spans(self):
+        rec = obs.install()
+        ctx = rec.span("open")
+        ctx.__enter__()
+        assert not rec.quiescent()
+        ctx.__exit__(None, None, None)
+        assert rec.quiescent()
+
+    def test_open_span_activate_across_threads(self):
+        rec = obs.install()
+        with obs.span("parent"):
+            node = obs.open_span("worker-span")
+
+            def work():
+                with obs.activate(node):
+                    with obs.span("nested"):
+                        obs.incr("worker.ticks")
+
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        tree = rec.span_tree()
+        (parent,) = tree["children"]
+        (worker,) = parent["children"]
+        assert (worker["name"], worker["count"]) == ("worker-span", 1)
+        assert [c["name"] for c in worker["children"]] == ["nested"]
+        assert rec.counters_snapshot() == {"worker.ticks": 1}
+        assert rec.quiescent()
+
+    def test_activate_none_is_a_noop(self):
+        rec = obs.install()
+        with obs.activate(None):
+            pass
+        assert rec.quiescent()
+
+
+class TestHostTimer:
+    def test_measures_even_when_disabled(self):
+        with obs.host_timer("stream.copy") as timer:
+            sum(range(1000))
+        assert timer.elapsed_s > 0.0
+        assert obs.recorder().timings_snapshot() == {}
+
+    def test_records_when_enabled(self):
+        rec = obs.install()
+        with obs.host_timer("hpl.solve"):
+            pass
+        with obs.host_timer("hpl.solve"):
+            pass
+        ((total_s, count),) = [rec.timings_snapshot()["hpl.solve"]]
+        assert count == 2
+        assert total_s >= 0.0
+
+
+class TestExport:
+    def test_schema_v1_shape(self):
+        rec = obs.install()
+        obs.incr("b", 2)
+        obs.incr("a", 1)
+        with obs.span("phase"):
+            pass
+        with obs.host_timer("t"):
+            pass
+        report = report_dict(rec)
+        assert report["version"] == SCHEMA_VERSION == 1
+        assert list(report["counters"]) == ["a", "b"]  # sorted
+        assert report["spans"]["name"] == "session"
+        assert report["timings"]["t"]["count"] == 1
+
+    def test_timings_can_be_scrubbed(self):
+        rec = obs.install()
+        with obs.host_timer("t"):
+            pass
+        assert "timings" not in report_dict(rec, include_timings=False)
+
+    def test_render_json_round_trips(self):
+        import json
+
+        rec = obs.install()
+        obs.incr("a")
+        assert json.loads(render_json(rec))["counters"] == {"a": 1}
+
+    def test_render_text_sections(self):
+        rec = obs.install()
+        obs.incr("sweep.cache_hits", 7)
+        with obs.span("table6"):
+            pass
+        text = render_text(rec)
+        assert "schema v1" in text
+        assert "session x1" in text
+        assert "table6 x1" in text
+        assert "sweep.cache_hits" in text
+
+    def test_null_recorder_exports_cleanly(self):
+        report = report_dict(NullRecorder())
+        assert report["counters"] == {} and report["timings"] == {}
