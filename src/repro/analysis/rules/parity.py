@@ -11,6 +11,15 @@ This rule enforces the pairing both ways inside classes named
 * every private scalar method taking a thread count (a parameter named
   ``n`` or ``n_threads``) needs a ``_foo_grid`` sibling.
 
+The cache simulator keeps the same discipline between its two trace
+engines: the dict-based oracle and the reuse-distance fast path are only
+interchangeable because a ``TRACE_ENGINES`` registry holds both under
+fixed names.  Any module assigning ``TRACE_ENGINES`` must register both
+``"exact"`` and ``"vectorized"`` and point each at a module-level
+function, and a ``run_trace_vectorized`` definition without any such
+registry in the project is flagged -- an unregistered engine could drift
+from the oracle silently.
+
 The project-level part checks kernel registration completeness: every
 NPB kernel module (a ``run_<k>`` definition in a ``npb/`` directory) must
 have a workload signature in ``SIGNATURE_BUILDERS`` and a trace spec in
@@ -46,14 +55,22 @@ REQUIRED_SIGNATURE_FIELDS = (
 #: ``run_<name>`` definitions in npb/ that are drivers, not kernels.
 _NON_KERNEL_RUNNERS = {"benchmark", "suite"}
 
+#: The cachesim engine registry and the pair of engines it must hold.
+ENGINE_REGISTRY = "TRACE_ENGINES"
+REQUIRED_ENGINES = ("exact", "vectorized")
+
+#: The vectorized engine's entry point; defining it obliges registration.
+_VECTORIZED_ENTRY = "run_trace_vectorized"
+
 
 @register
 class ParityRule(ProjectRule):
     code = "R005"
     name = "model-parity"
     description = (
-        "missing scalar/_grid method twins in PerformanceModel, or NPB "
-        "kernels without a complete signature/trace registration"
+        "missing scalar/_grid method twins in PerformanceModel, an "
+        "incomplete TRACE_ENGINES pair, or NPB kernels without a "
+        "complete signature/trace registration"
     )
 
     # -- per-file: scalar/grid twins -----------------------------------
@@ -62,6 +79,33 @@ class ParityRule(ProjectRule):
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ClassDef) and node.name in PARITY_CLASSES:
                 yield from self._check_class(module, node)
+        yield from self._check_engine_registry(module)
+
+    def _check_engine_registry(self, module: SourceModule) -> Iterator[Finding]:
+        """A ``TRACE_ENGINES`` registry must hold the full engine pair."""
+        found = _dict_assignment(module, ENGINE_REGISTRY)
+        if found is None:
+            return
+        stmt, engines = found
+        for required in REQUIRED_ENGINES:
+            if required not in engines:
+                yield module.finding(
+                    self.code, stmt,
+                    f"{ENGINE_REGISTRY} omits the {required!r} engine; the "
+                    "exact/vectorized pair must stay registered together "
+                    "so the implementations cannot drift silently",
+                )
+        functions = {
+            s.name for s in module.tree.body
+            if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for engine, value in engines.items():
+            if not isinstance(value, ast.Name) or value.id not in functions:
+                yield module.finding(
+                    self.code, value,
+                    f"{ENGINE_REGISTRY}[{engine!r}] must name a "
+                    "module-level engine function",
+                )
 
     def _check_class(self, module, cls: ast.ClassDef) -> Iterator[Finding]:
         methods = {
@@ -101,8 +145,16 @@ class ParityRule(ProjectRule):
         kernels: dict[str, SourceModule] = {}
         signatures: tuple[SourceModule, dict[str, ast.expr]] | None = None
         traces: tuple[SourceModule, set[str]] | None = None
+        registry_seen = False
+        vectorized_defs: list[tuple[SourceModule, ast.FunctionDef]] = []
 
         for module in modules:
+            if _dict_literal(module, ENGINE_REGISTRY) is not None:
+                registry_seen = True
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.FunctionDef) \
+                        and stmt.name == _VECTORIZED_ENTRY:
+                    vectorized_defs.append((module, stmt))
             if module.path.parent.name == "npb":
                 stem = module.path.stem.rstrip("_")
                 for stmt in module.tree.body:
@@ -135,6 +187,15 @@ class ParityRule(ProjectRule):
                         f"npb/{kernel}.py module defines `run_{kernel}`",
                     )
             yield from self._check_builders(sig_module, builders)
+
+        if not registry_seen:
+            for module, stmt in vectorized_defs:
+                yield module.finding(
+                    self.code, stmt,
+                    f"`{_VECTORIZED_ENTRY}` is defined but no "
+                    f"{ENGINE_REGISTRY} registry pairs it with the exact "
+                    "oracle; unregistered engines can drift silently",
+                )
 
         if traces is not None and kernels:
             trace_module, trace_keys = traces
@@ -184,8 +245,10 @@ class ParityRule(ProjectRule):
                 )
 
 
-def _dict_literal(module: SourceModule, name: str) -> dict[str, ast.expr] | None:
-    """String-keyed dict literal assigned to ``name`` at module level."""
+def _dict_assignment(
+    module: SourceModule, name: str
+) -> tuple[ast.stmt, dict[str, ast.expr]] | None:
+    """(assignment, entries) for a module-level string-keyed dict literal."""
     for stmt in module.tree.body:
         targets: list[ast.expr] = []
         if isinstance(stmt, ast.Assign):
@@ -201,8 +264,14 @@ def _dict_literal(module: SourceModule, name: str) -> dict[str, ast.expr] | None
                 for key, val in zip(value.keys, value.values):
                     if isinstance(key, ast.Constant) and isinstance(key.value, str):
                         out[key.value] = val
-                return out
+                return stmt, out
     return None
+
+
+def _dict_literal(module: SourceModule, name: str) -> dict[str, ast.expr] | None:
+    """String-keyed dict literal assigned to ``name`` at module level."""
+    found = _dict_assignment(module, name)
+    return None if found is None else found[1]
 
 
 def _kernel_signature_call(func: ast.FunctionDef) -> ast.Call | None:

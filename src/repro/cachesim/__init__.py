@@ -1,10 +1,11 @@
 """Trace-driven cache simulator (the paper's Table 1 substrate)."""
 
 from .cache import CacheStats, SetAssociativeCache
-from .hierarchy import CacheHierarchy, LevelResult, xeon8170_hierarchy
+from .hierarchy import TRACE_ENGINES, CacheHierarchy, LevelResult, xeon8170_hierarchy
 from .sophon import CGGatherStats, cg_l2_ablation, sophon_hierarchy
-from .stats import StallProfile, profile_kernel, table1_profile
+from .stats import StallProfile, clear_profile_cache, profile_kernel, table1_profile
 from .trace import KERNEL_TRACES, TraceSpec, build_trace, clear_trace_cache
+from .vectorized import bypass_hits, lru_hits, run_trace_vectorized
 
 __all__ = [
     "CGGatherStats",
@@ -14,11 +15,16 @@ __all__ = [
     "LevelResult",
     "SetAssociativeCache",
     "StallProfile",
+    "TRACE_ENGINES",
     "TraceSpec",
     "build_trace",
+    "bypass_hits",
+    "clear_profile_cache",
     "clear_trace_cache",
     "cg_l2_ablation",
+    "lru_hits",
     "profile_kernel",
+    "run_trace_vectorized",
     "sophon_hierarchy",
     "table1_profile",
     "xeon8170_hierarchy",

@@ -57,7 +57,6 @@ class SetAssociativeCache:
         # Per-set ordered dict of resident tags; insertion order == LRU
         # order (Python dicts preserve it; move-to-back on hit).
         self._sets: list[dict[int, None]] = [dict() for _ in range(n_sets)]
-        self._clock = 0
 
     def access(self, address: int, allocate: bool = True) -> bool:
         """Access one byte address; returns True on hit, False on miss.

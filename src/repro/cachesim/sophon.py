@@ -89,7 +89,9 @@ def cg_l2_ablation(
     for l2_mib in (1, 2):
         hier = sophon_hierarchy(l2_mib)
         addrs, mask = _cg_gather_trace(x_vector_bytes, matrix_bytes, n_accesses, seed)
-        _counts, levels = hier.run_trace(addrs, streaming_mask=mask)
+        _counts, levels = hier.run_trace(
+            addrs, streaming_mask=mask, engine="vectorized"
+        )
         # Only the gather half of the stream matters for the ablation.
         gather_levels = levels[1::2]
         warm = gather_levels[len(gather_levels) // 4 :]  # skip cold start

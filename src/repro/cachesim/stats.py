@@ -15,14 +15,22 @@ that scales one core's DRAM traffic by the 26 active cores.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
-from .hierarchy import CacheHierarchy, xeon8170_hierarchy
+from repro import obs
+
+from .hierarchy import CacheHierarchy, LevelResult, xeon8170_hierarchy
 from .trace import build_trace
 
-__all__ = ["StallProfile", "profile_kernel", "table1_profile"]
+__all__ = [
+    "StallProfile",
+    "profile_kernel",
+    "table1_profile",
+    "clear_profile_cache",
+]
 
 
 #: Socket parameters for the bandwidth-bound analysis (26 cores, 2.1 GHz,
@@ -31,6 +39,20 @@ _N_CORES = 26
 _CLOCK_HZ = 2.1e9
 _SUSTAINED_BW = 90e9
 _BOUND_THRESHOLD = 0.5
+
+
+#: Memoised profiles for the default hierarchy, keyed by every input that
+#: reaches the simulation, plus the obs counter deltas the underlying
+#: ``run_trace`` emitted (re-emitted on hits so telemetry stays a pure
+#: function of the logical work, warm or cold).
+_profile_cache: dict[tuple, tuple["StallProfile", tuple[int, int, int]]] = {}
+_profile_lock = threading.Lock()
+
+
+def clear_profile_cache() -> None:
+    """Drop all memoised stall profiles."""
+    with _profile_lock:
+        _profile_cache.clear()
 
 
 @dataclass(frozen=True)
@@ -59,23 +81,40 @@ def profile_kernel(
     seed: int = 42,
     n_windows: int = 50,
     warmup_fraction: float = 0.3,
+    engine: str = "vectorized",
 ) -> StallProfile:
     """Simulate one kernel's trace and account its stalls.
 
     The first ``warmup_fraction`` of the trace populates the caches but is
     excluded from the accounting -- a short synthetic trace otherwise
     over-reports compulsory misses that vanish in a minutes-long real run.
+    ``engine`` selects the trace simulator (both give identical results;
+    ``"vectorized"`` is ~10x faster on the default trace length).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    # Profiles for the default hierarchy are memoised (the sweep/table
+    # paths re-request the same kernels); an explicit hierarchy may carry
+    # warm state, so those calls always simulate.
+    key = None
+    if hierarchy is None:
+        key = (kernel, n_accesses, seed, n_windows, warmup_fraction, engine)
+        with _profile_lock:
+            cached = _profile_cache.get(key)
+        if cached is not None:
+            profile, (acc, fills, dram) = cached
+            obs.incr("cachesim.accesses", acc)
+            obs.incr("cachesim.line_fills", fills)
+            obs.incr("cachesim.dram_accesses", dram)
+            return profile
     hier = hierarchy or xeon8170_hierarchy()
     trace, prefetchable, spec = build_trace(kernel, n_accesses, seed)
-    _counts, levels_full = hier.run_trace(trace, streaming_mask=prefetchable)
+    full_counts, levels_full = hier.run_trace(
+        trace, streaming_mask=prefetchable, engine=engine
+    )
     cut = int(len(levels_full) * warmup_fraction)
     levels = levels_full[cut:]
     prefetchable = prefetchable[cut:]
-    from .hierarchy import LevelResult
-
     c = np.bincount(levels, minlength=5)
     counts = LevelResult(
         l1_hits=int(c[1]),
@@ -102,20 +141,23 @@ def profile_kernel(
     total_cycles = float(cycles.sum())
 
     # Windowed bandwidth analysis: does the socket (26 such cores) run
-    # near its sustainable DRAM bandwidth during each window?
+    # near its sustainable DRAM bandwidth during each window?  One
+    # cumsum-difference pass over the window edges replaces the former
+    # per-window Python loop; empty windows never count as bound.
     window_edges = np.linspace(0, len(levels), n_windows + 1, dtype=int)
-    bound_windows = 0
-    for w in range(n_windows):
-        lo, hi = window_edges[w], window_edges[w + 1]
-        if hi <= lo:
-            continue
-        dram_lines = int((levels[lo:hi] == 4).sum())
-        seg_seconds = float(cycles[lo:hi].sum()) / _CLOCK_HZ
-        socket_bytes = dram_lines * 64 * _N_CORES
-        if socket_bytes / seg_seconds >= _BOUND_THRESHOLD * _SUSTAINED_BW:
-            bound_windows += 1
+    dram_cum = np.concatenate([[0], np.cumsum(levels == 4, dtype=np.int64)])
+    dram_lines = dram_cum[window_edges[1:]] - dram_cum[window_edges[:-1]]
+    cyc_cum = np.concatenate([[0.0], np.cumsum(cycles)])
+    seg_cycles = cyc_cum[window_edges[1:]] - cyc_cum[window_edges[:-1]]
+    nonempty = window_edges[1:] > window_edges[:-1]
+    socket_bytes = dram_lines * 64 * _N_CORES
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bound = socket_bytes * _CLOCK_HZ >= (
+            _BOUND_THRESHOLD * _SUSTAINED_BW * seg_cycles
+        )
+    bound_windows = int((bound & nonempty).sum())
 
-    return StallProfile(
+    profile = StallProfile(
         kernel=kernel,
         cache_stall=cache_stall_cycles / total_cycles,
         ddr_stall=ddr_stall_cycles / total_cycles,
@@ -123,15 +165,30 @@ def profile_kernel(
         l1_hit_rate=counts.l1_hits / counts.total,
         dram_miss_rate=counts.dram_accesses / counts.total,
     )
+    if key is not None:
+        deltas = (
+            full_counts.total,
+            full_counts.total - full_counts.l1_hits,
+            full_counts.dram_accesses,
+        )
+        with _profile_lock:
+            _profile_cache[key] = (profile, deltas)
+    return profile
 
 
 def table1_profile(
     kernels: tuple[str, ...] = ("is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"),
     n_accesses: int = 120_000,
     seed: int = 42,
+    engine: str = "vectorized",
 ) -> dict[str, StallProfile]:
-    """The full Table 1: every kernel's stall profile on the Xeon model."""
+    """The full Table 1: every kernel's stall profile on the Xeon model.
+
+    Passes ``hierarchy=None`` so :func:`profile_kernel` serves repeats
+    from the memoised profile cache (each call still simulates on a fresh
+    default hierarchy the first time).
+    """
     return {
-        k: profile_kernel(k, xeon8170_hierarchy(), n_accesses, seed)
+        k: profile_kernel(k, None, n_accesses, seed, engine=engine)
         for k in kernels
     }

@@ -1,0 +1,634 @@
+"""Exact NumPy-vectorized set-associative LRU simulation via reuse distances.
+
+The dict-based :class:`~repro.cachesim.cache.SetAssociativeCache` walks every
+access through a Python loop; this module computes the same per-access
+hit/miss outcomes with array passes, bit-identical to the dict oracle.
+
+Exactness argument
+------------------
+For LRU, an access to line ``l`` hits iff ``l`` was touched before and the
+number of *distinct* lines mapping to its set that were touched since the
+last touch of ``l`` is below the associativity ``W`` (the classic stack /
+reuse-distance characterisation).  That distinct count is::
+
+    D(i) = #{ j in (p_i, i) : p_j <= p_i }
+
+where ``p_j`` is the previous occurrence of access ``j``'s line within the
+set -- each first-in-window occurrence contributes exactly one distinct
+line.  Everything below is machinery to evaluate ``D(i) < W`` for all
+accesses at once:
+
+* group accesses by set (a stable counting sort), so each set is one
+  contiguous *region*;
+* split regions into fixed-size *chunks* and build, with a saturating
+  parallel prefix scan, each chunk's *entering state*: the up-to-``W`` most
+  recently touched distinct lines before the chunk, packed as
+  ``lastpos << 32 | nextocc`` (an entry survives a span merge iff its line
+  does not reoccur before the merge boundary, so no dedup is needed);
+* an access whose window crosses its chunk boundary then resolves as
+  ``rank-in-entering-state + first-in-window count inside its own chunk``;
+  windows inside one chunk use a direct 32-wide windowed count.
+
+Truncating the entering state to ``W`` entries is lossless for the ``< W``
+threshold: once a state holds ``W`` entries, older history cannot change
+any verdict, which is also what lets the prefix scan stop early.
+
+Streaming bypass (``allocate=False``)
+-------------------------------------
+With an L3 streaming bypass the stream is no longer plain LRU: a streaming
+access that misses does not allocate, so it is invisible to later accesses,
+while a streaming hit still promotes its line.  The cache content after any
+prefix is therefore the top-``W`` distinct lines by last *touch*, where the
+touches are the demand accesses plus the streaming hits -- a fixed point,
+since whether a streaming access hits depends on earlier streaming
+outcomes.  :func:`bypass_hits` resolves it exactly with two one-sided
+rules, iterated to a fixed point:
+
+* *definite miss*: no prior same-set touch candidate, or at least ``W``
+  distinct lines with known touches (demand or resolved-hit) since the
+  latest possible last touch of ``l``;
+* *definite hit*: the latest candidate is itself a known touch and even
+  counting every unresolved access as a touch keeps the window below
+  ``W`` distinct lines.
+
+Both rules stay exact when evaluated against stale membership snapshots
+(the known-touch stream only grows, the possible-touch stream only
+shrinks), so each round reuses its indexes while statuses propagate along
+same-line chains.  Sets that still hold unresolved accesses after the
+round limit fall back to a per-set dict replay (the oracle semantics, on
+a tiny residue); in practice the rules converge on every kernel trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lru_hits", "bypass_hits", "run_trace_vectorized"]
+
+_C = 32          # chunk width of the per-set grids
+_CSH = 5         # log2(_C)
+_POS = np.int32  # position dtype (traces are far below 2**31 accesses)
+_NQ_MASK = np.int64((1 << 32) - 1)
+_MAX_BYPASS_ROUNDS = 3
+
+_ARANGE = np.arange(1 << 18, dtype=_POS)
+_ARANGE.setflags(write=False)
+_ARANGE64 = np.arange(1 << 18, dtype=np.int64)
+_ARANGE64.setflags(write=False)
+
+
+def _arange(n: int) -> np.ndarray:
+    if n <= len(_ARANGE):
+        return _ARANGE[:n]
+    return np.arange(n, dtype=_POS)
+
+
+def _pack_with_positions(values: np.ndarray, m: int) -> np.ndarray:
+    """``values << 32 | position`` as int64, built with in-place passes."""
+    packed = values.astype(np.int64)
+    packed <<= 32
+    packed |= _ARANGE64[:m] if m <= len(_ARANGE64) else np.arange(
+        m, dtype=np.int64)
+    return packed
+
+
+def _prev_next_occurrence(x: np.ndarray, m: int):
+    """(prev, next) same-line occurrence index per element (int32).
+
+    ``prev`` is -1 for first touches, ``next`` is ``m + 1`` for last ones.
+    Sorting ``value << shift | position`` with the default (unstable) sort
+    is equivalent to a stable argsort by value but several times faster;
+    fall back to the stable argsort when the packed key would overflow.
+    """
+    p = np.full(m, -1, _POS)
+    nxt = np.full(m, m + 1, _POS)
+    if np.little_endian and x.dtype == _POS and x[0] >= 0:
+        # Values and positions each fit an int32 half, so pack at bit 32
+        # and read both halves back through an int32 view -- no masking
+        # or shifting passes.  (Grouped streams are non-negative int32.)
+        packed = _pack_with_positions(x, m)
+        packed.sort()
+        halves = packed.view(_POS).reshape(m, 2)
+        si = np.ascontiguousarray(halves[:, 0])     # little-endian low half
+        vals = halves[:, 1]
+        same = vals[1:] == vals[:-1]
+        older, newer = si[:-1][same], si[1:][same]
+    elif int(x.max()) < 1 << (63 - max(1, int(m - 1).bit_length())):
+        shift = max(1, int(m - 1).bit_length())
+        packed = (x.astype(np.int64) << shift) | np.arange(m, dtype=np.int64)
+        packed.sort()
+        si = (packed & ((1 << shift) - 1)).astype(_POS)
+        same = (packed[1:] >> shift) == (packed[:-1] >> shift)
+        older, newer = si[:-1][same], si[1:][same]
+    else:
+        o = np.argsort(x, kind="stable").astype(_POS)
+        xo = x[o]
+        same = xo[1:] == xo[:-1]
+        older, newer = o[:-1][same], o[1:][same]
+    p[newer] = older
+    nxt[older] = newer
+    return p, nxt
+
+
+class _RegionIndex:
+    """Chunked reuse-distance index over a set-grouped access stream.
+
+    ``x`` holds line ids grouped into contiguous per-set regions described
+    by ``region_start``/``region_len``.  Provides per-element LRU verdicts
+    (:meth:`element_hits`) and threshold window queries (:meth:`sd_ge_w`).
+    """
+
+    def __init__(self, x, region_start, region_len, W):
+        self.x = x
+        self.W = W
+        m = self.m = len(x)
+        self.region_start = region_start
+        pos = self.pos = _arange(m)
+        if m:
+            self.p, self.nxt = _prev_next_occurrence(x, m)
+        else:
+            self.p = np.empty(0, _POS)
+            self.nxt = np.empty(0, _POS)
+        n_regions = len(region_start)
+        if n_regions == 1:
+            self.ck = pos >> _CSH
+            nchunks = int((m + _C - 1) // _C)
+            self.chunk_base = np.zeros(1, _POS)
+            self.chunk_start = _arange(nchunks) << _CSH
+            self.chunk_len = np.minimum(m - self.chunk_start, _C).astype(_POS)
+            self.rstart_of_chunk = np.zeros(nchunks, _POS)
+        else:
+            # Repeat the per-region values directly -- same expansion as
+            # indexing through a region-id array, minus the gathers.
+            lpos = pos - np.repeat(region_start, region_len)
+            chunks_per_region = (region_len + _C - 1) >> _CSH
+            self.chunk_base = np.concatenate(
+                [[0], np.cumsum(chunks_per_region[:-1], dtype=_POS)]
+            ).astype(_POS)
+            self.ck = np.repeat(self.chunk_base, region_len) \
+                + (lpos >> _CSH)
+            nchunks = int(chunks_per_region.sum())
+            crid = np.repeat(_arange(n_regions), chunks_per_region)
+            local = (_arange(nchunks) - self.chunk_base[crid]) << _CSH
+            self.chunk_start = region_start[crid] + local
+            self.chunk_len = np.minimum(region_len[crid] - local, _C).astype(_POS)
+            self.rstart_of_chunk = region_start[crid]
+        self.nchunks = nchunks
+        self.chunk_end = self.chunk_start + self.chunk_len
+        self._S = None
+
+    # -- entering states ------------------------------------------------
+    def _summaries(self):
+        """(S, qW): per-chunk entering state and its oldest tracked lastpos."""
+        if self._S is not None:
+            return self._S, self._qW
+        m, W, nchunks = self.m, self.W, self.nchunks
+        ck, chunk_end = self.ck, self.chunk_end
+        nxt = self.nxt
+        if len(self.region_start) == 1:
+            # nxt >= min(chunk boundary, m); `> boundary - 1` fuses the +1
+            lo = nxt > np.minimum(self.pos | (_C - 1), m - 1)
+        else:
+            lo = nxt >= chunk_end[ck]
+        # lo: last occurrence in chunk.  li is ascending, so within a chunk
+        # the newest-first rank falls out of each chunk's end offset in li.
+        li = np.flatnonzero(lo)
+        ckl = ck[li]
+        ends = np.cumsum(np.bincount(ckl, minlength=nchunks))
+        rfr = ends[ckl] - _arange(len(li))         # newest-first rank
+        keep = rfr <= W
+        si = li[keep]
+        T = np.full((nchunks, W), -1, np.int64)
+        T[ckl[keep], rfr[keep] - 1] = (si.astype(np.int64) << 32) | nxt[si]
+
+        first_chunk = np.zeros(nchunks, bool)
+        first_chunk[self.chunk_base] = True
+        F = first_chunk | (T[:, W - 1] != -1)      # final: saturated or first
+        d = 1
+        ce64 = chunk_end.astype(np.int64)
+        wj = _arange(W)[None, :]
+        while d < nchunks and not F.all():
+            todo = np.flatnonzero(~F[d:]) + d
+            A = T[todo - d]                        # older span's state
+            B = T[todo]                            # newer span's state
+            keepA = (A != -1) & ((A & _NQ_MASK) >= ce64[todo][:, None])
+            nb = (B != -1).sum(axis=1, dtype=_POS)
+            nA = keepA.sum(axis=1, dtype=_POS)
+            orderA = np.argsort(~keepA, axis=1, kind="stable")
+            survA = np.take_along_axis(A, orderA, axis=1)
+            j = wj - nb[:, None]
+            fromA = np.take_along_axis(survA, np.clip(j, 0, W - 1), axis=1)
+            T[todo] = np.where(j < 0, B, np.where(j < nA[:, None], fromA, -1))
+            F[todo] = F[todo - d] | (T[todo, W - 1] != -1)
+            d *= 2
+        S = np.empty_like(T)
+        S[0] = -1
+        S[1:] = T[:-1]
+        S[first_chunk] = -1
+        self._S = S
+        self._qW = (S[:, W - 1] >> 32).astype(_POS)
+        return S, self._qW
+
+    def _own_rows(self, cks):
+        """(rows, base): per-chunk prev-pointer rows; invalid slots +inf."""
+        sl = _arange(_C)
+        base = self.chunk_start[cks][:, None]
+        valid = sl[None, :] < self.chunk_len[cks][:, None]
+        rows = self.p[np.where(valid, base + sl[None, :], 0)]
+        return np.where(valid, rows, np.iinfo(_POS).max), base + sl[None, :]
+
+    # -- per-element LRU verdicts ---------------------------------------
+    def element_hits(self) -> np.ndarray:
+        """hit[i] = (p_i exists and D(i) < W) for every element of x."""
+        m, W = self.m, self.W
+        if m == 0:
+            return np.zeros(0, bool)
+        p, ck = self.p, self.ck
+        nc = p >= 0                                # not cold
+        # p stays within its element's region, so the set-local access gap
+        # is a plain difference -- no positional gather needed.
+        gap = self.pos - p
+        hit = (gap <= W) & nc                      # distinct <= gap-1 < W
+        ni = np.flatnonzero(hit ^ nc)              # = (gap > W) & nc
+        if len(ni) == 0:
+            return hit
+
+        pn = p[ni]
+        intra = pn >= self.chunk_start[ck[ni]]     # window within own chunk
+        nr = ni[intra]
+        if len(nr):
+            own, pos_own = self._own_rows(ck[nr])
+            pi = p[nr][:, None]
+            D = ((own <= pi) & (pos_own > pi)
+                 & (pos_own < nr[:, None])).sum(axis=1, dtype=_POS)
+            hit[nr] = D < W
+
+        fi = ni[~intra]
+        if len(fi) == 0:
+            return hit
+        S, qW = self._summaries()
+        certain_miss = p[fi] < qW[ck[fi]]          # saturated state is newer
+        fi = fi[~certain_miss]
+        if len(fi) == 0:
+            return hit
+        q = S[ck[fi]] >> 32
+        r = (q > p[fi][:, None].astype(np.int64)).sum(axis=1, dtype=_POS)
+        cand = r < W
+        fe = fi[cand]
+        if len(fe):
+            pf = p[fe][:, None]
+            own, pos_own = self._own_rows(ck[fe])
+            tc = ((own <= pf)
+                  & (pos_own < fe[:, None])).sum(axis=1, dtype=_POS)
+            hit[fe] = r[cand] + tc < W
+        return hit
+
+    # -- threshold window queries ---------------------------------------
+    def sd_ge_w(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Whether #distinct lines in x(a..b] >= W, per query.
+
+        ``a`` and ``b`` are element positions with ``b`` inside the region
+        the window refers to; ``a`` may lie before the region start (the
+        window is then the whole region prefix).  Exact for the threshold:
+        the entering state counts distinct lines with last touch after
+        ``a``, saturating at ``W``; the tail inside ``b``'s chunk adds its
+        first-in-window occurrences.
+        """
+        W = self.W
+        out = np.zeros(len(a), bool)
+        live = b - a >= W                          # < W elements => SD < W
+        if not live.any():
+            return out
+        qi = np.flatnonzero(live)
+        aq = np.maximum(a[qi], self.rstart_of_chunk[self.ck[b[qi]]] - 1)
+        bq = b[qi]
+        ckb = self.ck[bq]
+        S, qW = self._summaries()
+        sure = qW[ckb] > aq                        # >= W entries newer than a
+        out[qi[sure]] = True
+        rest = ~sure
+        if not rest.any():
+            return out
+        qi, aq, bq, ckb = qi[rest], aq[rest], bq[rest], ckb[rest]
+        q = S[ckb] >> 32
+        r = (q > aq[:, None].astype(np.int64)).sum(axis=1, dtype=_POS)
+        own, pos_own = self._own_rows(ckb)
+        aqc = aq[:, None]
+        tc = ((own <= aqc) & (pos_own > aqc)
+              & (pos_own <= bq[:, None])).sum(axis=1, dtype=_POS)
+        out[qi] = r + tc >= W
+        return out
+
+
+def _group_by_set(lines: np.ndarray, n_sets: int):
+    """Stable-sort a line stream by set; regions are contiguous sets.
+
+    Returns ``(x, region_start, region_len, gidx)`` with ``gidx`` mapping
+    grouped positions back to original trace positions.
+    """
+    if n_sets & (n_sets - 1):
+        key = lines % n_sets
+    else:
+        key = lines & (n_sets - 1)
+    m = len(lines)
+    if np.little_endian:
+        # One unstable sort of `set << 32 | position` doubles as a stable
+        # argsort by set and hands back the sorted keys through the int32
+        # high halves -- no separate key gather.
+        packed = _pack_with_positions(key, m)
+        packed.sort()
+        halves = packed.view(_POS).reshape(m, 2)
+        order = np.ascontiguousarray(halves[:, 0])
+        gs = halves[:, 1]
+    else:
+        key = key.astype(np.uint16 if n_sets > 256 else np.uint8)
+        order = np.argsort(key, kind="stable").astype(_POS)
+        gs = key[order]
+    x = lines[order]
+    rflag = np.empty(m, bool)
+    rflag[0] = True
+    rflag[1:] = gs[1:] != gs[:-1]
+    region_start = np.flatnonzero(rflag).astype(_POS)
+    region_len = np.diff(np.append(region_start, len(x))).astype(_POS)
+    return x, region_start, region_len, order
+
+
+def _lru_miss_positions(lines: np.ndarray, n_sets: int,
+                        ways: int) -> np.ndarray:
+    """Ascending positions of the misses under always-allocating LRU.
+
+    The miss set is a small fraction of the stream, so handing back the
+    positions directly spares callers the full-length hit array and its
+    rescans (``~h`` / ``flatnonzero``).
+    """
+    lines = np.asarray(lines)
+    n = len(lines)
+    if n == 0:
+        return np.zeros(0, _POS)
+    if lines.dtype != _POS and int(lines.max()) < 2**31:
+        lines = lines.astype(_POS)
+    # Consecutive same-line accesses always hit (same line => same set)
+    # and never change state beyond a no-op promote: collapse them first.
+    dup0 = np.empty(n, bool)
+    dup0[0] = False
+    np.equal(lines[1:], lines[:-1], out=dup0[1:])
+    if dup0.any():
+        keep0 = np.flatnonzero(~dup0).astype(_POS)
+        lx = lines[keep0]
+    else:
+        keep0 = None                               # e.g. an L1 miss stream
+        lx = lines
+    if n_sets > 1:
+        x, region_start, region_len, order = _group_by_set(lx, n_sets)
+        # Within a region, collapse consecutive same-line accesses again:
+        # they are set-local re-touches and guaranteed hits.
+        dup = np.empty(len(x), bool)
+        dup[0] = False
+        np.equal(x[1:], x[:-1], out=dup[1:])
+        dup[region_start] = False
+        gidx = order if keep0 is None else keep0[order]
+        kp = ~dup
+        xk = x[kp]
+        # region boundaries in the deduplicated stream (region starts are
+        # always kept, so their deduplicated position is their rank - 1)
+        region_start_k = np.cumsum(kp, dtype=_POS)[region_start] - 1
+        region_len_k = np.diff(
+            np.append(region_start_k, len(xk))).astype(_POS)
+        h = _RegionIndex(xk, region_start_k, region_len_k,
+                         ways).element_hits()
+        miss = gidx[kp][~h]                        # grouped order
+        miss.sort()                                # back to trace order
+    else:
+        h = _RegionIndex(lx, np.zeros(1, _POS),
+                         np.array([len(lx)], _POS), ways).element_hits()
+        nh = ~h
+        miss = np.flatnonzero(nh).astype(_POS) if keep0 is None \
+            else keep0[nh]                         # keep0 is ascending
+    return miss
+
+
+def lru_hits(lines: np.ndarray, n_sets: int, ways: int) -> np.ndarray:
+    """Per-access hit flags for one always-allocating LRU cache level."""
+    out = np.ones(len(lines), bool)
+    out[_lru_miss_positions(lines, n_sets, ways)] = False
+    return out
+
+
+def _dict_replay_sets(x, sid, streaming, W, replay_sets):
+    """Oracle replay of whole sets (dict LRU with bypass); returns
+    (indices, hits) for every access in a replayed set."""
+    take = np.isin(sid, replay_sets)
+    idx = np.flatnonzero(take)
+    xs = x[idx].tolist()
+    ss = sid[idx].tolist()
+    st = streaming[idx].tolist()
+    hits = np.zeros(len(idx), bool)
+    sets: dict[int, dict[int, None]] = {}
+    for k, ln in enumerate(xs):
+        e = sets.setdefault(ss[k], {})
+        if ln in e:
+            del e[ln]
+            e[ln] = None
+            hits[k] = True
+        elif not st[k]:
+            if len(e) >= W:
+                e.pop(next(iter(e)))
+            e[ln] = None
+    return idx, hits
+
+
+def _subset_index(x, rid_full, keep, W):
+    """Index over ``x[keep]`` plus a position map from full coordinates.
+
+    Returns ``(index, cnt)`` where ``cnt[i] - 1`` is the subset position
+    of the last kept element at or before full position ``i`` (-1: none).
+    """
+    cnt = np.cumsum(keep, dtype=_POS)
+    xs = x[keep]
+    rids = rid_full[keep]
+    rflag = np.empty(len(xs), bool)
+    if len(xs):
+        rflag[0] = True
+        rflag[1:] = rids[1:] != rids[:-1]
+    region_start = np.flatnonzero(rflag).astype(_POS)
+    region_len = np.diff(np.append(region_start, len(xs))).astype(_POS)
+    if len(region_start) == 0:
+        region_start = np.zeros(1, _POS)
+        region_len = np.zeros(1, _POS)
+    return _RegionIndex(xs, region_start, region_len, W), cnt
+
+
+def bypass_hits(lines: np.ndarray, streaming: np.ndarray,
+                n_sets: int, ways: int) -> np.ndarray:
+    """Per-access hit flags for an LRU level with streaming bypass.
+
+    Streaming accesses that miss do not allocate (``allocate=False``);
+    streaming hits promote normally.  Exact: resolution rules plus an
+    oracle replay of any residue sets.
+    """
+    lines = np.asarray(lines)
+    n = len(lines)
+    if n == 0:
+        return np.zeros(0, bool)
+    if not streaming.any():
+        return lru_hits(lines, n_sets, ways)
+    if lines.dtype != _POS and int(lines.max()) < 2**31:
+        lines = lines.astype(_POS)
+    W = ways
+
+    if n_sets > 1:
+        x, region_start, region_len, order = _group_by_set(lines, n_sets)
+        st = streaming[order]
+    else:
+        x, order = lines, None
+        region_start = np.zeros(1, _POS)
+        region_len = np.array([n], _POS)
+        st = streaming
+    m = len(x)
+    rid_full = np.repeat(_arange(len(region_start)), region_len)
+
+    full = _RegionIndex(x, region_start, region_len, W)
+    p = full.p
+    nxt = full.nxt                                 # next same-line access
+
+    # status: streaming accesses start unresolved; demand accesses are
+    # always touches (hit => promote, miss => allocate).
+    res_miss = np.zeros(m, bool)
+    unres = st.copy()
+    touch_known = ~st                              # demand or resolved hit
+    ptr = p.copy()                                 # latest touch candidate
+
+    for _round in range(_MAX_BYPASS_ROUNDS):
+        # Stale snapshots stay exact: the known-touch stream only grows
+        # (its distinct counts only undercount => ">= W" stays sufficient)
+        # and the possible-touch stream only shrinks (overcounts => "< W"
+        # stays sufficient).
+        min_idx, min_cnt = _subset_index(x, rid_full, touch_known, W)
+        if _round == 0:
+            max_idx, max_cnt = full, _arange(m) + 1
+        else:
+            max_idx, max_cnt = _subset_index(x, rid_full, ~res_miss, W)
+        # Worklist sweep: an access only needs re-evaluation after its
+        # same-line predecessor resolves, so resolutions schedule their
+        # successors (skipping transparent resolved misses) instead of
+        # re-querying every unresolved access each pass.
+        work = unres.copy()
+        while True:
+            ui = np.flatnonzero(work & unres)
+            if len(ui) == 0:
+                break
+            work[ui] = False
+            pu = ptr[ui]
+            while True:                            # chase past misses
+                stale = pu >= 0
+                stale[stale] = res_miss[pu[stale]]
+                if not stale.any():
+                    break
+                pu[stale] = p[pu[stale]]
+            ptr[ui] = pu
+            newly_miss = pu < 0                    # no possible prior touch
+            live = ~newly_miss
+            li = ui[live]
+            plv = pu[live]
+            newly_miss[live] = min_idx.sd_ge_w(
+                min_cnt[plv] - 1, min_cnt[li - 1] - 1)
+            still = live.copy()
+            still[live] = ~newly_miss[live]
+            sti = ui[still]
+            pst = ptr[sti]
+            can_hit = touch_known[pst]
+            if can_hit.any():
+                hi = sti[can_hit]
+                ph = pst[can_hit]
+                wide = max_idx.sd_ge_w(
+                    max_cnt[ph] - 1, max_cnt[hi - 1] - 1)
+                newly_hit_i = hi[~wide]
+            else:
+                newly_hit_i = np.empty(0, np.intp)
+            nm = ui[newly_miss]
+            if len(nm) == 0 and len(newly_hit_i) == 0:
+                continue
+            res_miss[nm] = True
+            unres[nm] = False
+            touch_known[newly_hit_i] = True
+            unres[newly_hit_i] = False
+            succ = nxt[np.concatenate([nm, newly_hit_i])]
+            while True:                            # skip transparent links
+                fwd = succ < m                     # m + 1 marks "no next"
+                fwd[fwd] = res_miss[succ[fwd]]
+                if not fwd.any():
+                    break
+                succ[fwd] = nxt[succ[fwd]]
+            succ = succ[succ < m]
+            work[succ[unres[succ]]] = True
+        if not unres.any():
+            break
+
+    out_g = np.empty(m, bool)                      # grouped-order verdicts
+    replayed = np.zeros(m, bool)
+    if unres.any():
+        sid = rid_full
+        replay_sets = np.unique(sid[unres])
+        ridx, rhits = _dict_replay_sets(x, sid, st, W, replay_sets)
+        out_g[ridx] = rhits
+        replayed[ridx] = True
+        touch_known[ridx] = ~st[ridx] | rhits
+
+    # Final pass: touches are now known everywhere, so every verdict is a
+    # plain-LRU question on the touch stream; resolved streaming misses
+    # are transparent and miss by definition.
+    final_idx, final_cnt = _subset_index(x, rid_full, touch_known, W)
+    h = final_idx.element_hits()
+    keep = ~replayed
+    kt = touch_known & keep
+    out_g[kt] = h[final_cnt[kt] - 1]
+    out_g[~touch_known & keep] = False
+    if order is None:
+        return out_g
+    out = np.empty(n, bool)
+    out[order] = out_g
+    return out
+
+
+def run_trace_vectorized(hierarchy, addresses: np.ndarray,
+                         streaming_mask: np.ndarray | None = None):
+    """Run a whole trace through a (cold) hierarchy, vectorized.
+
+    Returns ``(levels, per_level_hits)``: the per-access servicing level
+    (1, 2, 3, 4=DRAM) and each level's (hits, accesses) pair, matching the
+    dict engine access for access (the pairs double as level-count totals,
+    sparing callers a full-length histogram pass).  L1/L2 always allocate;
+    L3 honors the streaming bypass.
+    """
+    n = len(addresses)
+    levels = np.ones(n, np.int8)
+    idx = None                                     # original miss positions
+    cur = addresses
+    if n and cur.dtype != _POS and int(cur.max()) < 2**31:
+        cur = cur.astype(_POS)
+    cur_mask = streaming_mask
+    if cur_mask is not None and not cur_mask.any():
+        cur_mask = None                            # all-demand: pure LRU
+    per_level = []
+    for depth, cache in enumerate(
+            (hierarchy.l1, hierarchy.l2, hierarchy.l3)):
+        line_bytes = cache.line_bytes
+        if line_bytes & (line_bytes - 1):
+            lines = cur // line_bytes
+        else:
+            # addresses are unsigned, so a shift matches floor division
+            lines = cur >> (line_bytes.bit_length() - 1)
+        if depth == 2 and cur_mask is not None and len(cur_mask):
+            h = bypass_hits(lines, cur_mask, cache.n_sets,
+                            cache.associativity)
+            miss = np.flatnonzero(~h).astype(_POS)
+        else:
+            miss = _lru_miss_positions(lines, cache.n_sets,
+                                       cache.associativity)
+        idx = miss if idx is None else idx[miss]
+        per_level.append((len(lines) - len(miss), len(lines)))
+        levels[idx] = depth + 2                    # misses sink one level
+        cur = cur[miss]
+        if cur_mask is not None:
+            cur_mask = cur_mask[miss]
+    return levels, per_level

@@ -434,11 +434,12 @@ def clear_caches() -> None:
     """Evict every process-wide cache this package maintains.
 
     Covers the default engine's memoised results, the performance model's
-    calibration anchors, the CG system-matrix and cachesim trace caches,
-    and the memoised machine/compiler/signature getters.  Mainly a test
-    and long-lived-process escape hatch: caches never go stale in normal
-    use because every key captures all inputs.
+    calibration anchors, the CG system-matrix, cachesim trace and stall
+    profile caches, and the memoised machine/compiler/signature getters.
+    Mainly a test and long-lived-process escape hatch: caches never go
+    stale in normal use because every key captures all inputs.
     """
+    from repro.cachesim.stats import clear_profile_cache
     from repro.cachesim.trace import clear_trace_cache
     from repro.compilers.gcc import default_compiler_for, get_compiler
     from repro.machines.catalog import get_machine
@@ -452,6 +453,7 @@ def clear_caches() -> None:
         engine.runner.model.clear_cache()
     clear_matrix_cache()
     clear_trace_cache()
+    clear_profile_cache()
     signature_for.cache_clear()
     get_machine.cache_clear()
     get_compiler.cache_clear()

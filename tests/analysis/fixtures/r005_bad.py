@@ -1,4 +1,6 @@
-"""R005 known-bad: grid/scalar cost terms missing their twins."""
+"""R005 known-bad: grid/scalar cost terms missing their twins, plus a
+trace-engine registry missing its vectorized half and pointing the exact
+slot at a name that is not a module-level function."""
 
 
 class PerformanceModel:
@@ -9,3 +11,8 @@ class PerformanceModel:
     @staticmethod
     def _scalar_only(sig, machine, n):
         return float(n)
+
+
+TRACE_ENGINES = {
+    "exact": _missing_engine,  # noqa: F821 -- deliberately unresolvable
+}

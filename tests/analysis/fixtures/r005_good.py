@@ -1,4 +1,5 @@
-"""R005 known-good: every grid cost term has a scalar twin."""
+"""R005 known-good: every grid cost term has a scalar twin, and the
+trace-engine registry holds the complete exact/vectorized pair."""
 
 import numpy as np
 
@@ -11,3 +12,21 @@ class PerformanceModel:
     @staticmethod
     def _cost_grid(sig, machine, ns):
         return ns * 2.0
+
+
+def run_trace_vectorized(hierarchy, addresses, streaming_mask=None):
+    return addresses
+
+
+def _exact_levels(hierarchy, addresses, streaming_mask):
+    return addresses
+
+
+def _vectorized_levels(hierarchy, addresses, streaming_mask):
+    return run_trace_vectorized(hierarchy, addresses, streaming_mask)
+
+
+TRACE_ENGINES = {
+    "exact": _exact_levels,
+    "vectorized": _vectorized_levels,
+}

@@ -16,7 +16,7 @@ CASES = [
     ("R002", 4),
     ("R003", 4),
     ("R004", 4),
-    ("R005", 2),
+    ("R005", 4),
     ("R006", 4),
 ]
 
@@ -193,6 +193,54 @@ class TestParityProjectChecks:
         assert any("incomplete" in f.message for f in report.findings)
 
 
+class TestEngineRegistrySpecifics:
+    def test_missing_vectorized_entry_flagged(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "def _exact_levels(h, a, s):\n    return a\n"
+            "TRACE_ENGINES = {'exact': _exact_levels}\n"
+        )
+        report = _run_path(f, "R005")
+        assert any("omits the 'vectorized' engine" in x.message
+                   for x in report.findings)
+
+    def test_value_must_be_module_function(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "def _exact_levels(h, a, s):\n    return a\n"
+            "def _vectorized_levels(h, a, s):\n    return a\n"
+            "TRACE_ENGINES = {\n"
+            "    'exact': _exact_levels,\n"
+            "    'vectorized': lambda h, a, s: a,\n"
+            "}\n"
+        )
+        report = _run_path(f, "R005")
+        assert any("module-level engine function" in x.message
+                   for x in report.findings)
+
+    def test_unregistered_vectorized_entry_point_flagged(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("def run_trace_vectorized(h, a, s=None):\n    return a\n")
+        report = _run_path(f, "R005")
+        assert any("no TRACE_ENGINES registry" in x.message
+                   for x in report.findings)
+
+    def test_registry_in_sibling_module_satisfies_pairing(self, tmp_path):
+        (tmp_path / "vec.py").write_text(
+            "def run_trace_vectorized(h, a, s=None):\n    return a\n"
+        )
+        (tmp_path / "hier.py").write_text(
+            "def _exact_levels(h, a, s):\n    return a\n"
+            "def _vectorized_levels(h, a, s):\n    return a\n"
+            "TRACE_ENGINES = {\n"
+            "    'exact': _exact_levels,\n"
+            "    'vectorized': _vectorized_levels,\n"
+            "}\n"
+        )
+        report = run_analysis([tmp_path], rules_for(["R005"]), root=tmp_path)
+        assert report.findings == []
+
+
 class TestTelemetrySpecifics:
     def test_obs_package_is_exempt(self, tmp_path):
         pkg = tmp_path / "src" / "repro" / "obs"
@@ -229,3 +277,7 @@ class TestTelemetrySpecifics:
 
 def _count(path, code):
     return len(run_analysis([path], rules_for([code]), root=path.parent).findings)
+
+
+def _run_path(path, code):
+    return run_analysis([path], rules_for([code]), root=path.parent)
