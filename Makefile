@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test bench bench-full stats
+.PHONY: lint test faults bench bench-full stats
 
-# Repo-aware static analysis (R001-R006), then ruff/mypy when installed.
+# Repo-aware static analysis (R001-R007), then ruff/mypy when installed.
 lint:
 	$(PYTHON) -m repro lint --format json
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
@@ -18,6 +18,13 @@ test: lint
 	@# Golden telemetry snapshots must not depend on test order: rerun
 	@# tests/obs alone, with random ordering disabled if the plugin exists.
 	$(PYTHON) -m pytest tests/obs -q -p no:randomly
+	$(MAKE) faults
+
+# Resilience smoke: sweep a 24-config grid under injected transient and
+# slow-worker faults and verify it converges bit-identically to the
+# fault-free run (exit 1 on any divergence).
+faults:
+	$(PYTHON) -m repro faults
 
 # Telemetry summary for one artifact (override with ARTIFACT=figure5 etc.).
 ARTIFACT ?= table6

@@ -1,7 +1,23 @@
-"""Built-in rules.  Importing this package registers R001-R006."""
+"""Built-in rules.  Importing this package registers R001-R007."""
 
 from __future__ import annotations
 
-from . import catalog, concurrency, determinism, parity, telemetry, units  # noqa: F401
+from . import (  # noqa: F401
+    catalog,
+    concurrency,
+    determinism,
+    parity,
+    resilience,
+    telemetry,
+    units,
+)
 
-__all__ = ["determinism", "concurrency", "units", "catalog", "parity", "telemetry"]
+__all__ = [
+    "determinism",
+    "concurrency",
+    "units",
+    "catalog",
+    "parity",
+    "telemetry",
+    "resilience",
+]

@@ -16,9 +16,13 @@ Commands
 ``export``       write every table and figure to a directory as CSV
 ``score``        model-vs-paper error scorecard across all tables
 ``lint``         repo-aware static analysis (determinism, locking, units,
-                 catalog invariants, model parity, telemetry discipline)
+                 catalog invariants, model parity, telemetry discipline,
+                 exception hygiene)
 ``stats``        regenerate one table/figure with telemetry enabled and
                  print the span tree, counters and timings
+``faults``       resilience smoke test: run a sweep under an injected
+                 fault plan and verify it converges to the fault-free
+                 answer bit for bit
 """
 
 from __future__ import annotations
@@ -42,17 +46,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     jobs_help = "worker threads for sweep execution (default: REPRO_JOBS or auto)"
     telemetry_help = "write a schema-v1 telemetry JSON report to PATH"
+    retries_help = "transient-failure retry budget (default: REPRO_RETRIES or 2)"
+    fault_seed_help = (
+        "install a seeded fault plan for this run (deterministic injected "
+        "transient faults; results must still be bit-identical)"
+    )
+    fault_rate_help = "injected transient-fault rate used with --fault-seed (default 0.1)"
+    journal_help = (
+        "crash-safe sweep journal at PATH: completed families are persisted "
+        "and an interrupted run resumed from them"
+    )
+
+    def _sweep_flags(p) -> None:
+        p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+        p.add_argument("--retries", type=int, default=None, help=retries_help)
+        p.add_argument("--fault-seed", type=int, default=None, help=fault_seed_help)
+        p.add_argument("--fault-rate", type=float, default=0.1, help=fault_rate_help)
+        p.add_argument("--journal", metavar="PATH", default=None, help=journal_help)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 9))
     p.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
-    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    _sweep_flags(p)
     p.add_argument("--telemetry", metavar="PATH", default=None, help=telemetry_help)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int, choices=range(1, 7))
     p.add_argument("--csv", action="store_true")
-    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    _sweep_flags(p)
     p.add_argument("--telemetry", metavar="PATH", default=None, help=telemetry_help)
 
     p = sub.add_parser("npb", help="run one NPB benchmark functionally")
@@ -92,8 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("export", help="write every table/figure as CSV")
     p.add_argument("directory")
-    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    _sweep_flags(p)
     p.add_argument("--telemetry", metavar="PATH", default=None, help=telemetry_help)
+
+    p = sub.add_parser(
+        "faults",
+        help="resilience smoke test: faulted sweep must equal fault-free sweep",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.3,
+        help="per-attempt injected transient/slow fault rate (default 0.3)",
+    )
+    p.add_argument("--fault-seed", type=int, default=2025, help=fault_seed_help)
+    p.add_argument("--retries", type=int, default=None, help=retries_help)
+    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     p = sub.add_parser("score", help="model-vs-paper error scorecard")
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
@@ -153,21 +188,40 @@ def _telemetry_start(path: str | None):
 def _telemetry_finish(path: str | None, recorder) -> None:
     if recorder is None:
         return
-    from pathlib import Path
-
     from repro import obs
-    from repro.obs.export import render_json
+    from repro.obs.export import write_report
 
     obs.disable()
-    Path(path).write_text(render_json(recorder))
+    write_report(path, recorder)
     print(f"telemetry written to {path}", file=sys.stderr)
+
+
+def _journal_attach(path: str | None):
+    """Attach a sweep journal to the shared engine for this command."""
+    if path is None:
+        return None
+    from repro.core.sweep import default_engine
+    from repro.faults import SweepJournal
+
+    engine = default_engine()
+    engine.attach_journal(SweepJournal(path))
+    return engine
+
+
+def _journal_detach(engine) -> None:
+    if engine is not None:
+        engine.detach_journal()
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.harness import build_table
 
     recorder = _telemetry_start(args.telemetry)
-    result = build_table(args.number)
+    engine = _journal_attach(args.journal)
+    try:
+        result = build_table(args.number)
+    finally:
+        _journal_detach(engine)
     _telemetry_finish(args.telemetry, recorder)
     sys.stdout.write(result.to_csv() if args.csv else result.render())
     return 0
@@ -177,7 +231,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness import build_figure
 
     recorder = _telemetry_start(args.telemetry)
-    result = build_figure(args.number)
+    engine = _journal_attach(args.journal)
+    try:
+        result = build_figure(args.number)
+    finally:
+        _journal_detach(engine)
     _telemetry_finish(args.telemetry, recorder)
     sys.stdout.write(result.to_csv() if args.csv else result.render())
     return 0
@@ -337,11 +395,67 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.harness.export import export_all
 
     recorder = _telemetry_start(args.telemetry)
-    written = export_all(args.directory)
+    engine = _journal_attach(args.journal)
+    try:
+        written = export_all(args.directory)
+    finally:
+        _journal_detach(engine)
     _telemetry_finish(args.telemetry, recorder)
     for path in written:
         print(f"wrote {path}")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Resilience smoke: a faulted sweep converges to the fault-free answer.
+
+    Runs a 24-config grid twice through fresh engines -- once clean, once
+    under a seeded fault plan injecting transient failures and slow
+    workers -- and verifies the results are bit-identical.
+    """
+    from repro import faults, obs
+    from repro.core.sweep import SweepEngine, expand_grid
+    from repro.obs.export import report_dict
+
+    grid = expand_grid(
+        ("sg2044", "sg2042"),
+        ("is", "ep", "mg", "cg"),
+        thread_counts=(1, 4, 16),
+    )
+    faults.disable()
+    obs.disable()
+    baseline = SweepEngine(jobs=args.jobs).run_many(grid, on_dnr="none")
+
+    try:
+        plan = faults.FaultPlan(
+            seed=args.fault_seed,
+            transient_rate=args.rate,
+            slow_rate=args.rate / 2.0,
+            slow_delay_s=0.001,
+        )
+    except ValueError as exc:
+        print(f"repro: error: --rate: {exc}", file=sys.stderr)
+        return 2
+    faults.install(plan)
+    recorder = obs.install()
+    try:
+        engine = SweepEngine(jobs=args.jobs, retries=args.retries)
+        faulted = engine.run_many(grid, on_dnr="none")
+    finally:
+        obs.disable()
+        faults.disable()
+
+    counters = report_dict(recorder, include_timings=False)["counters"]
+    identical = faulted == baseline
+    print(f"grid: {len(grid)} configs, fault seed {args.fault_seed}, rate {args.rate}")
+    injected = plan.stats()
+    print(
+        "injected: "
+        + (", ".join(f"{k}={n}" for k, n in injected.items()) or "none")
+    )
+    print(f"retries spent: {counters.get('sweep.retries', 0)}")
+    print(f"verdict: {'bit-identical' if identical else 'RESULTS DIVERGED'}")
+    return 0 if identical else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -432,6 +546,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "score": _cmd_score,
     "lint": _cmd_lint,
+    "faults": _cmd_faults,
 }
 
 
@@ -446,7 +561,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ValueError as exc:
             print(f"repro: error: --jobs: {exc}", file=sys.stderr)
             return 2
-    return _COMMANDS[args.command](args)
+    retries = getattr(args, "retries", None)
+    if retries is not None and args.command != "faults":
+        from repro.core.sweep import set_default_retries
+
+        try:
+            set_default_retries(retries)
+        except ValueError as exc:
+            print(f"repro: error: --retries: {exc}", file=sys.stderr)
+            return 2
+    fault_seed = getattr(args, "fault_seed", None)
+    plan_installed = False
+    if fault_seed is not None and args.command != "faults":
+        from repro import faults
+
+        try:
+            faults.install(
+                faults.FaultPlan(
+                    seed=fault_seed, transient_rate=args.fault_rate
+                )
+            )
+        except ValueError as exc:
+            print(f"repro: error: --fault-rate: {exc}", file=sys.stderr)
+            return 2
+        plan_installed = True
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if plan_installed:
+            from repro import faults
+
+            faults.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

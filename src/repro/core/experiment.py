@@ -56,6 +56,22 @@ class ExperimentConfig:
     def resolved_compiler(self) -> str:
         return self.compiler or default_compiler_for(self.machine)
 
+    def family_key(self) -> tuple:
+        """The thread-sweep family this config belongs to.
+
+        Configs identical in everything but ``n_threads`` form one
+        family: one batched model evaluation, one sweep-engine group,
+        one fault-injection site, one journal unit.
+        """
+        return (
+            self.machine,
+            self.kernel,
+            self.npb_class,
+            self.resolved_compiler(),
+            self.vectorise,
+            self.runs,
+        )
+
 
 class ExperimentRunner:
     """Runs configurations through the model with seeded measurement noise.
@@ -130,17 +146,10 @@ class ExperimentRunner:
         predictions: dict[int, Prediction] = {}
         groups: dict[tuple, list[int]] = {}
         for idx, config in enumerate(configs):
-            fam = (
-                config.machine,
-                config.kernel,
-                config.npb_class,
-                config.resolved_compiler(),
-                config.vectorise,
-            )
-            groups.setdefault(fam, []).append(idx)
+            groups.setdefault(config.family_key(), []).append(idx)
 
         for fam, indices in groups.items():
-            machine_name, kernel, npb_class, compiler_name, vectorise = fam
+            machine_name, kernel, npb_class, compiler_name, vectorise, _runs = fam
             machine = get_machine(machine_name)
             signature = signature_for(kernel, npb_class)
             compiler = get_compiler(compiler_name)

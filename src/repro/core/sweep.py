@@ -28,10 +28,13 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
-from repro import obs
+from repro import faults, obs
+from repro.faults import GroupTimeoutError, TransientError
 
 from .experiment import DEFAULT_RUNS, ExperimentConfig, ExperimentRunner
 from .perfmodel import DNRError
@@ -43,8 +46,14 @@ __all__ = [
     "paper_vectorise",
     "default_engine",
     "set_default_jobs",
+    "set_default_retries",
     "clear_caches",
+    "DEFAULT_RETRIES",
 ]
+
+#: Transient failures are retried this many times by default (override
+#: per engine, with ``REPRO_RETRIES``, or with the ``--retries`` flag).
+DEFAULT_RETRIES = 2
 
 
 def paper_vectorise(kernel: str) -> bool:
@@ -118,10 +127,31 @@ class SweepEngine:
         Worker threads for batch execution.  ``None`` reads the
         ``REPRO_JOBS`` environment variable, falling back to
         ``min(8, cpu_count)``.  ``1`` forces serial execution.
+    retries:
+        Retry budget for *transient* group failures
+        (:class:`repro.faults.TransientError`, including injected
+        faults).  ``None`` reads ``REPRO_RETRIES``, falling back to
+        :data:`DEFAULT_RETRIES`.  Retries back off exponentially from
+        ``backoff_s``.
+    group_timeout_s:
+        Per-group deadline for pooled execution; a group exceeding it
+        raises :class:`repro.faults.GroupTimeoutError` (fatal, never
+        silently re-run).  ``None`` (default) disables the deadline;
+        serial execution cannot be preempted and ignores it.
+    journal:
+        Optional :class:`repro.faults.SweepJournal`; completed families
+        are persisted as they land and preloaded on attach, so an
+        interrupted run resumes from completed families.
 
     Results are memoised per exact (seed, noise, calibration, config)
     tuple; "Did Not Run" configurations cache their :class:`DNRError`
     the same way, so a grid with DNR holes is still cheap to re-expand.
+
+    Failure taxonomy (see :mod:`repro.faults.taxonomy`): transient
+    errors are retried in place, DNR verdicts are cached as results, and
+    everything else propagates to the caller exactly once -- a failing
+    group never triggers re-execution of groups that already completed,
+    and its claims are released so the next caller can re-claim the key.
 
     Concurrency: the engine is safe to hammer from many threads.  A
     single-flight table (``_inflight``) guarantees each cache key is
@@ -137,16 +167,31 @@ class SweepEngine:
     """
 
     def __init__(
-        self, runner: ExperimentRunner | None = None, jobs: int | None = None
+        self,
+        runner: ExperimentRunner | None = None,
+        jobs: int | None = None,
+        retries: int | None = None,
+        backoff_s: float = 0.02,
+        group_timeout_s: float | None = None,
+        journal=None,
     ) -> None:
         self.runner = runner or ExperimentRunner()
         self.jobs = self._resolve_jobs(jobs)
+        self.retries = self._resolve_retries(retries)
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        self.backoff_s = backoff_s
+        self.group_timeout_s = group_timeout_s
+        self._sleep = time.sleep
         self._results: dict[tuple, ExperimentResult | DNRError] = {}
         self._inflight: dict[tuple, threading.Event] = {}
         self._lock = threading.Lock()
+        self._journal = None
         self.hits = 0
         self.misses = 0
         self.dnr_configs = 0
+        if journal is not None:
+            self.attach_journal(journal)
 
     @staticmethod
     def _resolve_jobs(jobs: int | None) -> int:
@@ -159,6 +204,15 @@ class SweepEngine:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         return jobs
+
+    @staticmethod
+    def _resolve_retries(retries: int | None) -> int:
+        if retries is None:
+            env = os.environ.get("REPRO_RETRIES")
+            retries = int(env) if env is not None else DEFAULT_RETRIES
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        return retries
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -181,12 +235,45 @@ class SweepEngine:
         )
 
     def clear_cache(self) -> None:
-        """Evict all memoised results (and reset the hit/miss/DNR counters)."""
+        """Evict all memoised results (and reset the hit/miss/DNR counters).
+
+        The attached journal (if any) is deliberately left intact: it is
+        the durable record an interrupted run resumes from.
+        """
         with self._lock:
             self._results.clear()
             self.hits = 0
             self.misses = 0
             self.dnr_configs = 0
+
+    # ------------------------------------------------------------------
+    # Journal (checkpoint/resume)
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Attach a :class:`repro.faults.SweepJournal` and preload it.
+
+        Journaled results enter the memo cache exactly as if this engine
+        had executed them (they are bit-identical by construction).  The
+        journal's keys embed the runner seed, noise level and calibration
+        flag, so entries written under different settings never match a
+        key this engine asks for -- a stale journal is inert, not wrong.
+        """
+        with self._lock:
+            self._journal = journal
+            for key, value in journal.results().items():
+                self._results.setdefault(key, value)
+
+    def detach_journal(self) -> None:
+        """Stop journaling (already-loaded results stay cached)."""
+        with self._lock:
+            self._journal = None
+
+    def _journal_record(self, store: dict) -> None:
+        with self._lock:
+            journal = self._journal
+        if journal is not None:
+            journal.record(store)
 
     # ------------------------------------------------------------------
     # Execution
@@ -327,15 +414,7 @@ class SweepEngine:
         try:
             families: dict[tuple, list[ExperimentConfig]] = {}
             for config in pending.values():
-                fam = (
-                    config.machine,
-                    config.kernel,
-                    config.npb_class,
-                    config.resolved_compiler(),
-                    config.vectorise,
-                    config.runs,
-                )
-                families.setdefault(fam, []).append(config)
+                families.setdefault(config.family_key(), []).append(config)
             self._execute_groups(list(families.values()))
         finally:
             # Release claims even on failure so waiters re-classify instead
@@ -350,41 +429,133 @@ class SweepEngine:
     def _execute_groups(self, groups: list[list[ExperimentConfig]]) -> None:
         # Group spans are opened here, in the submitting thread, so the
         # span tree's shape is identical for serial and parallel runs.
+        # Handles whose group never executes (pool startup failure, a
+        # fatal sibling) are abandoned in the finally, so the tree stays
+        # a pure function of the work actually performed.
         handles = [
             obs.open_span(f"group[{group[0].kernel}/{group[0].npb_class}]")
             for group in groups
         ]
-        if self.jobs > 1 and len(groups) > 1:
+        executed = [False] * len(groups)
+        try:
+            if self.jobs > 1 and len(groups) > 1:
+                if self._execute_groups_pooled(groups, handles, executed):
+                    return
+            # Serial path: fresh groups, plus any the pool could not take
+            # because *startup* failed.  Groups that already ran (or are
+            # running) on the pool are never re-executed here.
+            for i, (group, handle) in enumerate(zip(groups, handles)):
+                if not executed[i]:
+                    executed[i] = True
+                    self._execute_group(group, handle)
+        finally:
+            for done, handle in zip(executed, handles):
+                if not done:
+                    obs.abandon_span(handle)
+
+    def _make_pool(self, workers: int) -> ThreadPoolExecutor:
+        """Pool construction, separated so tests can starve it."""
+        return ThreadPoolExecutor(max_workers=workers)
+
+    def _execute_groups_pooled(
+        self,
+        groups: list[list[ExperimentConfig]],
+        handles: list,
+        executed: list[bool],
+    ) -> bool:
+        """Run groups on a thread pool; returns True when nothing is left.
+
+        Only *pool startup* failures (the executor or its worker threads
+        cannot be created -- thread-starved environments, interpreter
+        shutdown) fall back: ``False`` is returned with ``executed``
+        marking what the pool did take, and the caller runs the
+        remainder serially.  A failure raised *inside* a group is a
+        result, not a startup problem: it propagates (after sibling
+        groups finish and store their results) and nothing is re-run.
+        """
+        try:
+            pool = self._make_pool(min(self.jobs, len(groups)))
+        except (RuntimeError, OSError):
+            return False  # executor never existed; nothing was executed
+        futures = {}
+        all_submitted = True
+        for i, (group, handle) in enumerate(zip(groups, handles)):
             try:
-                workers = min(self.jobs, len(groups))
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    list(pool.map(self._execute_group, groups, handles))
-                return
+                futures[i] = pool.submit(self._execute_group, group, handle)
             except (RuntimeError, OSError):
-                # Thread-starved environments (no spare OS threads, or an
-                # interpreter at shutdown) fall back to serial execution.
-                pass
-        for group, handle in zip(groups, handles):
-            self._execute_group(group, handle)
+                # Worker-thread startup failed.  Already-submitted groups
+                # still run to completion below; the rest go serial.
+                all_submitted = False
+                break
+            executed[i] = True
+        try:
+            for i, future in futures.items():
+                try:
+                    future.result(timeout=self.group_timeout_s)
+                except FuturesTimeoutError:
+                    # Cancel whatever has not started; groups already
+                    # running cannot be preempted and are disowned.
+                    for j, other in futures.items():
+                        if other.cancel():
+                            executed[j] = False
+                    group = groups[i]
+                    raise GroupTimeoutError(
+                        f"group[{group[0].kernel}/{group[0].npb_class}] exceeded "
+                        f"the {self.group_timeout_s}s group timeout"
+                    ) from None
+        except GroupTimeoutError:
+            pool.shutdown(wait=False)
+            raise
+        except BaseException:
+            # A group failed: let its siblings finish (their results are
+            # stored and counted exactly once), then propagate.
+            pool.shutdown(wait=True)
+            raise
+        pool.shutdown(wait=True)
+        return all_submitted
 
     def _execute_group(self, group: list[ExperimentConfig], span_handle=None) -> None:
         """Run one thread-sweep family and store its results (or its DNR)."""
         with obs.activate(span_handle):
             try:
-                results = self.runner.run_many(group)
+                results = self._run_group_resilient(group)
             except DNRError as exc:
                 # DNR is a property of (machine, kernel, class), independent
                 # of thread count -- the whole family shares the verdict.
                 obs.incr("sweep.dnr_raises")
                 with self._lock:
-                    for config in group:
-                        self._results[self.cache_key(config)] = exc
+                    store = {self.cache_key(c): exc for c in group}
+                    self._results.update(store)
+                self._journal_record(store)
                 return
             obs.incr("sweep.groups_executed")
             obs.incr("sweep.configs_executed", len(group))
             with self._lock:
-                for config, result in zip(group, results):
-                    self._results[self.cache_key(config)] = result
+                store = dict(zip((self.cache_key(c) for c in group), results))
+                self._results.update(store)
+            self._journal_record(store)
+
+    def _run_group_resilient(self, group: list[ExperimentConfig]):
+        """One family through the runner, retrying transient failures.
+
+        The installed fault plan is probed once per attempt (keyed by the
+        family, so schedules are execution-order independent).  Transient
+        failures -- injected or raised by the runner itself -- back off
+        exponentially from ``backoff_s`` and retry up to ``retries``
+        times; every other exception propagates to the caller unchanged.
+        """
+        site_key = "/".join(str(part) for part in group[0].family_key())
+        attempt = 0
+        while True:
+            try:
+                faults.inject("sweep.group", site_key)
+                return self.runner.run_many(group)
+            except TransientError:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                obs.incr("sweep.retries")
+                self._sleep(self.backoff_s * (2 ** (attempt - 1)))
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Memoised single-config execution (raises on DNR, like the runner)."""
@@ -428,6 +599,12 @@ def set_default_jobs(jobs: int | None) -> None:
     """Set worker-thread count on the shared engine (the ``--jobs`` flag)."""
     engine = default_engine()
     engine.jobs = SweepEngine._resolve_jobs(jobs)
+
+
+def set_default_retries(retries: int | None) -> None:
+    """Set the transient-retry budget on the shared engine (``--retries``)."""
+    engine = default_engine()
+    engine.retries = SweepEngine._resolve_retries(retries)
 
 
 def clear_caches() -> None:

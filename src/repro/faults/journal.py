@@ -1,0 +1,168 @@
+"""Resumable on-disk journal of completed sweep results.
+
+Long regeneration runs (every table over every machine) execute in
+thread-sweep families; a crash between families loses everything memoised
+in the engine's in-process cache.  A :class:`SweepJournal` attached to a
+:class:`~repro.core.sweep.SweepEngine` persists every completed family's
+results as they land, so an interrupted ``repro table``/``repro export``
+run restarted with the same journal resumes from the completed families
+instead of re-executing the whole grid.
+
+Safety properties
+-----------------
+* **Crash-safe**: the journal file is rewritten through
+  :func:`~repro.faults.atomic.write_text_atomic` on every record, so it
+  is always a complete, parseable snapshot; a corrupt or torn file (or a
+  schema mismatch) degrades to an empty journal, never to bad results.
+* **Self-guarding**: entries are keyed by the engine's full cache key --
+  runner seed, noise level, calibration flag and every config field --
+  so a journal written under different settings is simply inert (no key
+  ever matches), not poisonous.
+* **Exact**: floats round-trip through JSON via ``repr`` (shortest
+  round-trip), so resumed results are bit-identical to recomputed ones
+  and resumed artifact bytes match an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from .atomic import write_text_atomic
+
+__all__ = ["SweepJournal"]
+
+JOURNAL_VERSION = 1
+
+
+def _encode_key(key: tuple) -> str:
+    return json.dumps(list(key))
+
+
+def _decode_key(text: str) -> tuple:
+    return tuple(json.loads(text))
+
+
+def _encode_value(value) -> dict:
+    """Serialise one cached value: a full result or a DNR verdict."""
+    from repro.core.perfmodel import DNRError
+
+    if isinstance(value, DNRError):
+        return {"dnr": str(value)}
+    prediction = value.prediction
+    return {
+        "result": {
+            "machine": value.machine,
+            "kernel": value.kernel,
+            "npb_class": value.npb_class,
+            "n_threads": value.n_threads,
+            "compiler": value.compiler,
+            "vectorised": value.vectorised,
+            "samples": [[s.run_index, s.time_s, s.mops] for s in value.samples],
+            "notes": list(value.notes),
+            "prediction": {
+                "machine": prediction.machine,
+                "kernel": prediction.kernel,
+                "npb_class": prediction.npb_class,
+                "n_threads": prediction.n_threads,
+                "time_s": prediction.time_s,
+                "mops": prediction.mops,
+                "t_compute": prediction.t_compute,
+                "t_stream": prediction.t_stream,
+                "t_latency": prediction.t_latency,
+                "t_sync": prediction.t_sync,
+                "vectorised": prediction.vectorised,
+                "calibration_factor": prediction.calibration_factor,
+                "notes": list(prediction.notes),
+            },
+        }
+    }
+
+
+def _decode_value(payload: dict):
+    from repro.core.perfmodel import DNRError, Prediction
+    from repro.core.results import ExperimentResult, RunSample
+
+    if "dnr" in payload:
+        return DNRError(payload["dnr"])
+    data = payload["result"]
+    pred = dict(data["prediction"])
+    pred["notes"] = tuple(pred["notes"])
+    return ExperimentResult(
+        machine=data["machine"],
+        kernel=data["kernel"],
+        npb_class=data["npb_class"],
+        n_threads=data["n_threads"],
+        compiler=data["compiler"],
+        vectorised=data["vectorised"],
+        samples=tuple(
+            RunSample(run_index=i, time_s=t, mops=m) for i, t, m in data["samples"]
+        ),
+        prediction=Prediction(**pred),
+        notes=tuple(data["notes"]),
+    )
+
+
+class SweepJournal:
+    """Crash-safe persistence of completed sweep families.
+
+    ``SweepJournal(path)`` loads whatever completed work the file already
+    holds (tolerating a missing, torn or mismatched file); the engine
+    records each family as it completes via :meth:`record` and preloads
+    :meth:`results` on attach.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return
+        try:
+            data = json.loads(text)
+        except ValueError:
+            return  # torn or corrupt snapshot: resume from nothing
+        if not isinstance(data, dict) or data.get("version") != JOURNAL_VERSION:
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def record(self, items: dict) -> None:
+        """Persist a completed family's ``cache_key -> value`` map.
+
+        The on-disk snapshot is rewritten atomically, so a crash during
+        the write preserves the previous complete snapshot.  The write
+        happens under the journal lock: concurrent families would
+        otherwise race on the shared temporary file.
+        """
+        with self._lock:
+            for key, value in items.items():
+                self._entries[_encode_key(key)] = _encode_value(value)
+            snapshot = json.dumps(
+                {"version": JOURNAL_VERSION, "entries": self._entries},
+                sort_keys=True,
+            )
+            write_text_atomic(self.path, snapshot + "\n")
+
+    def results(self) -> dict:
+        """Decode every journaled entry as ``cache_key -> value``."""
+        with self._lock:
+            entries = dict(self._entries)
+        out = {}
+        for key_text, payload in entries.items():
+            try:
+                out[_decode_key(key_text)] = _decode_value(payload)
+            except (KeyError, TypeError, ValueError):
+                continue  # one malformed entry must not poison the rest
+        return out

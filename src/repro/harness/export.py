@@ -3,11 +3,18 @@
 ``python -m repro export out/`` produces one CSV per table and figure
 (ready for pandas/matplotlib/gnuplot) plus an ``INDEX.md`` mapping files
 to the paper's artefacts.
+
+Every file goes through :func:`repro.faults.write_text_atomic`: a crash
+(or injected I/O fault) mid-export leaves each artifact either absent,
+fully previous or fully new -- never a truncated CSV that would later
+parse as a short-but-valid table.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+
+from repro.faults import write_text_atomic
 
 from .figures import FIGURE_BUILDERS
 from .tables import TABLE_BUILDERS
@@ -42,7 +49,7 @@ def export_all(
             raise KeyError(f"no table {n} (paper has 1-8)")
         result = TABLE_BUILDERS[n]()
         path = out / f"table{n}.csv"
-        path.write_text(result.to_csv())
+        write_text_atomic(path, result.to_csv())
         written.append(path)
         index_lines.append(f"| `{path.name}` | Table {n}: {result.title} |")
     for n in figure_numbers:
@@ -50,11 +57,11 @@ def export_all(
             raise KeyError(f"no figure {n} (paper has 1-6)")
         fig = FIGURE_BUILDERS[n]()
         path = out / f"figure{n}.csv"
-        path.write_text(fig.to_csv())
+        write_text_atomic(path, fig.to_csv())
         written.append(path)
         index_lines.append(f"| `{path.name}` | Figure {n}: {fig.title} |")
 
     index = out / "INDEX.md"
-    index.write_text("\n".join(index_lines) + "\n")
+    write_text_atomic(index, "\n".join(index_lines) + "\n")
     written.append(index)
     return written

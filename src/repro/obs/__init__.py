@@ -40,6 +40,7 @@ __all__ = [
     "span",
     "open_span",
     "activate",
+    "abandon_span",
     "host_timer",
 ]
 
@@ -100,6 +101,16 @@ def open_span(name: str):
 def activate(node):
     """Context manager entering a span opened via :func:`open_span`."""
     return _recorder.activate(node)
+
+
+def abandon_span(node) -> None:
+    """Release a span handle from :func:`open_span` that will never run.
+
+    Keeps the span tree honest under failure: a handle opened for work
+    that ends up not executing (pool startup failure, a sibling group
+    raising first) must not count as an execution.
+    """
+    _recorder.abandon_span(node)
 
 
 def host_timer(name: str) -> HostTimer:

@@ -22,8 +22,15 @@ scrub ``timings``.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
-__all__ = ["SCHEMA_VERSION", "report_dict", "render_json", "render_text"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "report_dict",
+    "render_json",
+    "render_text",
+    "write_report",
+]
 
 SCHEMA_VERSION = 1
 
@@ -49,6 +56,18 @@ def report_dict(recorder, include_timings: bool = True) -> dict:
 
 def render_json(recorder) -> str:
     return json.dumps(report_dict(recorder), indent=2) + "\n"
+
+
+def write_report(path: str | Path, recorder) -> Path:
+    """Write the schema-v1 JSON report crash-safely (tmp + ``os.replace``).
+
+    Telemetry lands at the very end of a long regeneration run -- exactly
+    when an interrupt is most likely -- so the report must never be left
+    half-written where a consumer would parse a truncated JSON document.
+    """
+    from repro.faults import write_text_atomic
+
+    return write_text_atomic(path, render_json(recorder))
 
 
 def _tree_lines(node: dict, depth: int, lines: list[str]) -> None:

@@ -50,12 +50,13 @@ class Span:
     R006 enforces that outside ``repro.obs``.
     """
 
-    __slots__ = ("name", "count", "children")
+    __slots__ = ("name", "count", "children", "parent")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.children: dict[str, Span] = {}
+        self.parent: Span | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -151,6 +152,9 @@ class NullRecorder:
     def activate(self, node) -> object:
         return _NULL_CONTEXT
 
+    def abandon_span(self, node) -> None:
+        pass
+
     def record_timing(self, name: str, elapsed_s: float) -> None:
         pass
 
@@ -234,6 +238,7 @@ class TelemetryRecorder:
             node = parent.children.get(name)
             if node is None:
                 node = parent.children[name] = Span(name)
+                node.parent = parent
             node.count += 1
         return node
 
@@ -242,6 +247,23 @@ class TelemetryRecorder:
         if node is None:
             return _NULL_CONTEXT
         return _Activation(self, node)
+
+    def abandon_span(self, node: Span | None) -> None:
+        """Undo one :meth:`open_span` on a handle that will never run.
+
+        Work submitted for parallel execution opens its span eagerly; when
+        the work is then never executed (a sibling group failed first, a
+        pool could not start its thread), the opened count would claim an
+        execution that never happened.  Abandoning decrements the count
+        and prunes the node when nothing else ever entered it, so the
+        span tree stays a pure function of the work actually performed.
+        """
+        if node is None:
+            return
+        with self._lock:
+            node.count -= 1
+            if node.count <= 0 and not node.children and node.parent is not None:
+                node.parent.children.pop(node.name, None)
 
     def record_timing(self, name: str, elapsed_s: float) -> None:
         with self._lock:

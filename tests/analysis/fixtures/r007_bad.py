@@ -1,0 +1,30 @@
+"""Known-bad fixture for R007: broad handlers that swallow silently."""
+
+
+def swallow_bare(work):
+    try:
+        return work()
+    except:  # noqa: E722
+        pass  # finding 1: bare except, nothing re-raised or classified
+
+
+def swallow_exception(work, log):
+    try:
+        return work()
+    except Exception as exc:
+        log.append(str(exc))  # finding 2: logged but swallowed
+        return None
+
+
+def swallow_base_exception(work):
+    try:
+        return work()
+    except BaseException:
+        return None  # finding 3: even KeyboardInterrupt vanishes
+
+
+def swallow_in_tuple(work):
+    try:
+        return work()
+    except (ValueError, Exception):
+        return -1  # finding 4: Exception hides in a tuple

@@ -1,0 +1,34 @@
+"""Known-good fixture for R007: handlers that stay honest about failure."""
+
+from repro.faults import TransientError, classify
+
+
+def narrow_is_fine(work):
+    try:
+        return work()
+    except ValueError:
+        return None  # naming the exception IS the classification
+
+
+def broad_but_reraises(work, log):
+    try:
+        return work()
+    except Exception as exc:
+        log.append(str(exc))
+        raise
+
+
+def broad_but_wraps(work):
+    try:
+        return work()
+    except Exception as exc:
+        raise TransientError("flaky environment") from exc
+
+
+def broad_but_classifies(work, retry):
+    try:
+        return work()
+    except Exception as exc:
+        if classify(exc) == "transient":
+            return retry()
+        raise

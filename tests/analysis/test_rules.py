@@ -18,6 +18,7 @@ CASES = [
     ("R004", 4),
     ("R005", 4),
     ("R006", 4),
+    ("R007", 4),
 ]
 
 

@@ -1,0 +1,14 @@
+"""Every faults test starts and ends with injection and telemetry off."""
+
+import pytest
+
+from repro import faults, obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_slots():
+    faults.disable()
+    obs.disable()
+    yield
+    faults.disable()
+    obs.disable()

@@ -10,9 +10,10 @@ import threading
 
 import pytest
 
-from repro import obs
+from repro import faults, obs
 from repro.core.experiment import ExperimentRunner
 from repro.core.sweep import SweepEngine, expand_grid
+from repro.faults import FaultPlan
 from repro.obs.export import report_dict
 
 N_THREADS = 8
@@ -37,8 +38,10 @@ class CountingRunner(ExperimentRunner):
 @pytest.fixture(autouse=True)
 def _telemetry_off():
     obs.disable()
+    faults.disable()
     yield
     obs.disable()
+    faults.disable()
 
 
 def _hammer(engine, grid, n_threads=N_THREADS):
@@ -94,6 +97,108 @@ def test_no_duplicate_executions_under_contention():
         assert counters["sweep.cache_misses"] == n_unique
         assert counters["sweep.configs_requested"] == N_THREADS * n_unique
         assert rec.quiescent()
+
+
+class FatalThenHealedRunner(CountingRunner):
+    """One family is fatal for its first ``failures`` executions."""
+
+    def __init__(self, poison_kernel: str, failures: int) -> None:
+        super().__init__()
+        self.poison_kernel = poison_kernel
+        self.failures = failures
+        self.poison_attempts = 0
+        self._fail_lock = threading.Lock()
+
+    def run_many(self, configs):
+        if configs[0].kernel == self.poison_kernel:
+            with self._fail_lock:
+                self.poison_attempts += 1
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise RuntimeError("poisoned family")
+        return super().run_many(configs)
+
+
+def _hammer_collecting(engine, grid, n_threads=N_THREADS):
+    """Like :func:`_hammer`, but failures are data, not test errors."""
+    barrier = threading.Barrier(n_threads)
+    results: list = [None] * n_threads
+    errors: list = []
+    errors_lock = threading.Lock()
+
+    def work(i):
+        try:
+            barrier.wait()
+            results[i] = engine.run_many(grid, on_dnr="none")
+        except Exception as exc:
+            with errors_lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    assert not any(t.is_alive() for t in threads), "a caller hung"
+    return results, errors
+
+
+def test_injected_fatal_failures_never_hang_waiters():
+    """A failing claimant must release its claim: waiters re-claim, not hang.
+
+    The poisoned family fails its first two executions; eight racing
+    callers sort themselves out -- two absorb the failures, the rest get
+    full results -- and the single-flight table fully drains.
+    """
+    grid = expand_grid(("sg2044",), ("is", "ep", "cg", "mg"), thread_counts=(1, 2, 4, 8))
+    runner = FatalThenHealedRunner(poison_kernel="mg", failures=2)
+    engine = SweepEngine(runner, jobs=4)
+    rec = obs.install()
+    try:
+        results, errors = _hammer_collecting(engine, grid)
+    finally:
+        obs.disable()
+
+    # Exactly the injected failures surfaced, each to exactly one caller.
+    assert len(errors) == 2
+    assert all(isinstance(e, RuntimeError) for e in errors)
+    completed = [r for r in results if r is not None]
+    assert len(completed) == N_THREADS - 2
+    assert all(r == completed[0] for r in completed)
+    # The poisoned family was attempted failures + 1 times, succeeding
+    # once; every config (healthy or poisoned) executed exactly once.
+    assert runner.poison_attempts == 3
+    assert set(runner.executions.values()) == {1}
+    assert sum(runner.executions.values()) == len(grid)
+    # No claim leaked: the table drained even through the failures.
+    assert engine._inflight == {}
+    assert rec.quiescent()
+
+
+def test_injected_transient_faults_all_callers_succeed():
+    """With retries >= the fault cap, contention plus faults is invisible."""
+    grid = expand_grid(("sg2044",), ("is", "ep", "cg", "mg"), thread_counts=(1, 2, 4, 8))
+    runner = CountingRunner()
+    engine = SweepEngine(runner, jobs=4, retries=2, backoff_s=0.0)
+    faults.install(FaultPlan(seed=9, transient_rate=1.0, max_failures=2))
+    rec = obs.install()
+    try:
+        results, errors = _hammer_collecting(engine, grid)
+    finally:
+        obs.disable()
+        faults.disable()
+
+    assert errors == []
+    assert all(r is not None for r in results)
+    assert all(r == results[0] for r in results[1:])
+    # Retries happen around the runner, never through it: every config
+    # still executed exactly once.
+    assert set(runner.executions.values()) == {1}
+    counters = rec.counters_snapshot()
+    assert counters["sweep.retries"] == 8  # 2 capped faults x 4 families
+    assert counters["faults.transient"] == 8
+    assert engine._inflight == {}
+    assert rec.quiescent()
 
 
 def test_contended_dnr_family_resolves_once():
