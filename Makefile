@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test faults bench bench-full stats
+.PHONY: lint test faults bench bench-full bench-grid stats
 
-# Repo-aware static analysis (R001-R007), then ruff/mypy when installed.
+# Repo-aware static analysis (R001-R008), then ruff/mypy when installed.
 lint:
 	$(PYTHON) -m repro lint --format json
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
@@ -38,3 +38,8 @@ bench:
 # Full timed regeneration of every table and figure.
 bench-full:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
+
+# Planner benches only: asserts the cold megagrid path holds its >= 3x
+# speedup floor over the per-family path (bit-identical results).
+bench-grid:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable -k "planner"

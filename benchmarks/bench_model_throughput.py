@@ -23,7 +23,7 @@ def test_prediction_throughput(benchmark):
     assert len(preds) == 35
 
 
-def test_prediction_throughput_batched(benchmark):
+def test_prediction_throughput_batched(benchmark, time_best_of, bench_artifact):
     model = PerformanceModel()
     machine = get_machine("sg2044")
     compiler = get_compiler("gcc-15.2")
@@ -34,12 +34,25 @@ def test_prediction_throughput_batched(benchmark):
             machine, sigs, compiler, (1, 2, 4, 8, 16, 32, 64)
         )
 
+    def loop():
+        return [
+            model.predict(machine, sig, compiler, n)
+            for sig in sigs
+            for n in (1, 2, 4, 8, 16, 32, 64)
+        ]
+
     preds = benchmark(sweep)
     assert len(preds) == 35
     # Same grid, same order as the scalar loop above.
-    loop = [
-        model.predict(machine, sig, compiler, n)
-        for sig in sigs
-        for n in (1, 2, 4, 8, 16, 32, 64)
-    ]
-    assert preds == loop
+    assert preds == loop()
+
+    batch_s, _ = time_best_of("model.predict_batch", sweep, 5)
+    loop_s, _ = time_best_of("model.predict_loop", loop, 3)
+    benchmark.extra_info["batch_speedup"] = round(loop_s / batch_s, 2)
+    bench_artifact(
+        "model.batch_vs_loop",
+        n_predictions=len(preds),
+        batch_s=batch_s,
+        loop_s=loop_s,
+        speedup=round(loop_s / batch_s, 2),
+    )

@@ -1,12 +1,14 @@
-"""Sweep-engine throughput: batched prediction and warm-cache regeneration.
+"""Sweep-engine throughput: batched prediction, caching, and the planner.
 
-Covers the two claims the engine makes: ``predict_batch`` beats the
-config-at-a-time loop on grid evaluation, and a warmed engine serves
-whole table/figure grids from its result cache.
+Covers the three claims the engine makes: ``predict_batch`` beats the
+config-at-a-time loop on grid evaluation, a warmed engine serves whole
+table/figure grids from its result cache, and the megagrid planner beats
+the per-family path on a cold full-paper regeneration by >= 3x while
+producing bit-identical results.
 """
 
 from repro.compilers.gcc import get_compiler
-from repro.core.experiment import ExperimentConfig
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
 from repro.core.perfmodel import PerformanceModel
 from repro.core.sweep import SweepEngine, expand_grid
 from repro.harness import paper
@@ -14,6 +16,74 @@ from repro.machines.catalog import get_machine
 from repro.npb.signatures import signature_for
 
 _THREADS = (1, 2, 4, 8, 16, 26, 32, 64)
+
+# The planner's cold-path speedup floor over the per-family path, and the
+# escalation margin (stop re-measuring once the headline has headroom).
+_PLANNER_TARGET = 3.0
+_PLANNER_MARGIN = 3.3
+_PLANNER_EXTRA_ROUNDS = 5
+
+
+def _paper_grid():
+    """The union of every table's and figure's prefetch grid (cold run)."""
+    from repro.harness.figures import FIGURE_BUILDERS, figure_grid
+    from repro.harness.tables import TABLE_BUILDERS, table_grid
+
+    grid = [c for n in sorted(TABLE_BUILDERS) for c in table_grid(n)]
+    grid += [c for n in sorted(FIGURE_BUILDERS) for c in figure_grid(n)]
+    return grid
+
+
+def test_planner_cold_paper_regeneration(
+    benchmark, time_best_of, escalate_until, bench_artifact
+):
+    """Cold full-paper megagrid: planner vs per-family, bit-identical, >= 3x.
+
+    Every rep builds a fresh runner and engine (nothing cached), so this
+    measures the one-shot cost of regenerating the paper's entire sweep
+    surface -- the exact path ``repro export`` takes on a cold start.
+    """
+    grid = _paper_grid()
+
+    def run_cold(planner):
+        engine = SweepEngine(runner=ExperimentRunner(), jobs=1, planner=planner)
+        return engine.run_many(grid, on_dnr="none")
+
+    results = benchmark(lambda: run_cold(True))
+    assert len(results) == len(grid)
+    # The planner must reproduce the per-family path bit for bit,
+    # including the DNR (None) entries table 2 carries.
+    assert results == run_cold(False)
+
+    best = {}
+
+    def remeasure():
+        p, _ = time_best_of("sweep.planner_cold", lambda: run_cold(True), 3)
+        f, _ = time_best_of("sweep.per_family_cold", lambda: run_cold(False), 3)
+        best["planner"] = min(best.get("planner", p), p)
+        best["per_family"] = min(best.get("per_family", f), f)
+
+    remeasure()
+    rounds = escalate_until(
+        lambda: best["per_family"] / best["planner"],
+        remeasure,
+        margin=_PLANNER_MARGIN,
+        max_rounds=_PLANNER_EXTRA_ROUNDS,
+    )
+    speedup = best["per_family"] / best["planner"]
+    benchmark.extra_info["planner_speedup"] = round(speedup, 2)
+    benchmark.extra_info["n_configs"] = len(grid)
+    bench_artifact(
+        "sweep.planner_cold_paper_regeneration",
+        n_configs=len(grid),
+        planner_s=best["planner"],
+        per_family_s=best["per_family"],
+        speedup=round(speedup, 2),
+        extra_rounds=rounds,
+    )
+    # The tentpole claim: the one-shot megagrid planner makes the cold
+    # full-paper regeneration >= 3x faster than the per-family path.
+    assert speedup >= _PLANNER_TARGET
 
 
 def test_batch_vs_loop_prediction(benchmark):

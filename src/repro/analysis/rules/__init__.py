@@ -1,4 +1,4 @@
-"""Built-in rules.  Importing this package registers R001-R007."""
+"""Built-in rules.  Importing this package registers R001-R008."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ from . import (  # noqa: F401
     concurrency,
     determinism,
     parity,
+    procshard,
     resilience,
     telemetry,
     units,
@@ -20,4 +21,5 @@ __all__ = [
     "parity",
     "telemetry",
     "resilience",
+    "procshard",
 ]

@@ -1,0 +1,195 @@
+"""R008: process sharding -- workers must not mutate module-global state.
+
+Process-shard workers run in forked children: functions handed to an
+executor via ``.submit(...)`` and functions named like workers
+(``*_worker``, or containing ``shard``).  Any module-global state a
+worker mutates -- a memo dict, a counter, a lazily-built singleton -- is
+mutated in the *child's* copy of the module and silently discarded when
+the worker returns; only the worker's return value crosses the process
+boundary.  Holding a lock does not help: the lock the child sees is a
+stale fork-time copy guarding nothing, which is why this rule flags the
+mutation even inside a ``with <lock>:`` block (unlike R002, whose
+threads genuinely share the state).
+
+Workers must be pure with respect to module state: build results locally,
+return them, and let the parent merge under its own (live) locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..core import Finding, Rule, SourceModule
+from ..registry import register
+from ._astutil import terminal_name
+
+__all__ = ["ProcShardRule"]
+
+_MUTATING_METHODS = {
+    "append", "add", "clear", "update", "setdefault", "pop", "popitem",
+    "extend", "remove", "discard", "insert", "sort", "reverse",
+}
+
+_MUTABLE_FACTORIES = {"dict", "list", "set", "defaultdict", "deque",
+                      "OrderedDict", "Counter"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        return name in _MUTABLE_FACTORIES
+    # The lazy-singleton pattern: `_engine = None`, rebound later.
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """Base Name of a subscript/attribute chain (``x`` for ``x[k].y``)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_worker_name(name: str) -> bool:
+    return name.endswith("_worker") or "shard" in name
+
+
+def _submitted_names(tree: ast.AST) -> set[str]:
+    """Names passed as the callable to an executor ``.submit(fn, ...)``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            names.add(node.args[0].id)
+    return names
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Plain-name bindings inside the function (args, assigns, loops...)."""
+    locals_: set[str] = {a.arg for a in (
+        *func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs,
+        *([func.args.vararg] if func.args.vararg else []),
+        *([func.args.kwarg] if func.args.kwarg else []),
+    )}
+    for node in ast.walk(func):
+        exprs: list[ast.expr | None] = []
+        if isinstance(node, ast.Assign):
+            exprs = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.For)):
+            exprs = [node.target]
+        elif isinstance(node, ast.withitem):
+            exprs = [node.optional_vars]
+        elif isinstance(node, ast.comprehension):
+            exprs = [node.target]
+        for expr in exprs:
+            if isinstance(expr, ast.Name):
+                locals_.add(expr.id)
+            elif isinstance(expr, (ast.Tuple, ast.List)):
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Name):
+                        locals_.add(sub.id)
+    return locals_
+
+
+@register
+class ProcShardRule(Rule):
+    code = "R008"
+    name = "procshard"
+    description = (
+        "module-global state mutated inside a process-shard worker; the "
+        "write dies with the forked child -- return data instead"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        mutable_globals: set[str] = set()
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if _is_mutable_literal(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        mutable_globals.add(target.id)
+
+        submitted = _submitted_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                _is_worker_name(node.name) or node.name in submitted
+            ):
+                yield from self._check_worker(module, node, mutable_globals)
+
+    # ------------------------------------------------------------------
+
+    def _check_worker(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        mutable_globals: set[str],
+    ) -> Iterator[Finding]:
+        declared_global: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        locals_ = _local_names(func) - declared_global
+
+        def is_shared(name: str | None) -> bool:
+            if name is None or name in locals_:
+                return False
+            return name in mutable_globals or name in declared_global
+
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id in declared_global:
+                            yield module.finding(
+                                self.code, node,
+                                f"worker `{func.name}` rebinds module global "
+                                f"`{target.id}`; the new value exists only in "
+                                "the forked child and is lost on exit",
+                            )
+                    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = _root_name(target)
+                        if is_shared(root):
+                            yield module.finding(
+                                self.code, node,
+                                f"worker `{func.name}` writes into module-"
+                                f"global `{root}`; the write stays in the "
+                                "forked child -- return the data and merge "
+                                "in the parent",
+                            )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    root = _root_name(target)
+                    if is_shared(root):
+                        yield module.finding(
+                            self.code, node,
+                            f"worker `{func.name}` deletes from module-"
+                            f"global `{root}` in the forked child",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+            ):
+                root = _root_name(node.func.value)
+                if is_shared(root):
+                    yield module.finding(
+                        self.code, node,
+                        f"worker `{func.name}` calls mutating "
+                        f"`.{node.func.attr}()` on module-global `{root}`; "
+                        "even under a lock the mutation dies with the "
+                        "forked child",
+                    )

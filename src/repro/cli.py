@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     jobs_help = "worker threads for sweep execution (default: REPRO_JOBS or auto)"
+    procs_help = (
+        "worker processes for cold sweep execution: families are sharded "
+        "across forked workers with per-shard journals merged by cache key "
+        "(default: REPRO_PROCS or 1)"
+    )
     telemetry_help = "write a schema-v1 telemetry JSON report to PATH"
     retries_help = "transient-failure retry budget (default: REPRO_RETRIES or 2)"
     fault_seed_help = (
@@ -59,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _sweep_flags(p) -> None:
         p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+        p.add_argument("--procs", type=int, default=None, help=procs_help)
         p.add_argument("--retries", type=int, default=None, help=retries_help)
         p.add_argument("--fault-seed", type=int, default=None, help=fault_seed_help)
         p.add_argument("--fault-rate", type=float, default=0.1, help=fault_rate_help)
@@ -149,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    p.add_argument("--procs", type=int, default=None, help=procs_help)
 
     p = sub.add_parser("lint", help="repo-aware static analysis (R001-R006)")
     p.add_argument(
@@ -475,7 +482,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     kind = "figure" if match.group(1) in {"figure", "fig", "f"} else "table"
     number = int(match.group(2))
 
+    from repro.core.sweep import default_engine
+
     recorder = obs.install()
+    # Surface the engine sizing this run resolved (argument, environment
+    # or default) so `repro stats` answers "how parallel was that?".
+    engine = default_engine()
+    obs.incr("sweep.jobs_resolved", engine.jobs)
+    obs.incr("sweep.procs_resolved", engine.procs)
     try:
         if kind == "table":
             from repro.harness import build_table
@@ -560,6 +574,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             set_default_jobs(jobs)
         except ValueError as exc:
             print(f"repro: error: --jobs: {exc}", file=sys.stderr)
+            return 2
+    procs = getattr(args, "procs", None)
+    if procs is not None:
+        from repro.core.sweep import set_default_procs
+
+        try:
+            set_default_procs(procs)
+        except ValueError as exc:
+            print(f"repro: error: --procs: {exc}", file=sys.stderr)
             return 2
     retries = getattr(args, "retries", None)
     if retries is not None and args.command != "faults":

@@ -38,7 +38,7 @@ from repro.machines.machine import Machine
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .perfmodel import PerformanceModel
 
-__all__ = ["Anchor", "ANCHORS", "calibration_factors", "anchor_for"]
+__all__ = ["Anchor", "ANCHORS", "calibration_factors", "factors_from_raw", "anchor_for"]
 
 
 @dataclass(frozen=True)
@@ -199,6 +199,18 @@ def calibration_factors(
     sig = signature_for(kernel, anchor.npb_class)
     compiler = get_compiler(default_compiler_for(machine.name))
     raw = model._raw_time(machine, sig, compiler, 1, anchor.vectorise)
+    return factors_from_raw(sig, anchor, raw)
+
+
+def factors_from_raw(sig, anchor: Anchor, raw: dict) -> tuple[float, float]:
+    """``(alpha, kappa)`` from an already-computed single-point raw split.
+
+    ``raw`` holds the anchor configuration's ``total``/``compute``/
+    ``stream``/``latency``/``sync`` times as plain floats, exactly as
+    ``PerformanceModel._raw_time`` returns them.  Split out so the grid
+    planner (``repro.core.plan``) can derive factors from rows of its
+    megagrid without a second scalar model evaluation.
+    """
     t_anchor = sig.total_mops / anchor.mops
     if sig.residual_attribution == "compute":
         compute_budget = t_anchor - raw["latency"] - raw["sync"]

@@ -22,9 +22,32 @@ from repro.machines.catalog import get_machine
 from .perfmodel import Prediction, PerformanceModel
 from .results import ExperimentResult, RunSample
 
-__all__ = ["ExperimentConfig", "ExperimentRunner", "DEFAULT_RUNS"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "DEFAULT_RUNS",
+    "measurement_seed",
+]
 
 DEFAULT_RUNS = 5  # "All results represent the average of five independent runs"
+
+
+def measurement_seed(
+    base_seed: int, config: "ExperimentConfig", compiler_name: str
+) -> int:
+    """The per-config noise-stream seed: sha256 over the full config key.
+
+    A process-stable hash (unlike builtin ``hash()`` on strings) keeps
+    "measurements" reproducible across interpreter invocations.  Shared
+    with the grid planner (:mod:`repro.core.plan`), which derives the
+    identical PCG64 streams for a whole megagrid in bulk.
+    """
+    key = (
+        f"{base_seed}|{config.machine}|{config.kernel}|{config.npb_class}"
+        f"|{config.n_threads}|{compiler_name}|{config.vectorise}"
+    )
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
 
 
 @dataclass(frozen=True)
@@ -180,14 +203,9 @@ class ExperimentRunner:
         compiler_name: str,
     ) -> ExperimentResult:
         """Draw the seeded noise samples around one prediction."""
-        # A process-stable hash (unlike builtin hash() on strings) keeps
-        # "measurements" reproducible across interpreter invocations.
-        key = (
-            f"{self.seed}|{config.machine}|{config.kernel}|{config.npb_class}"
-            f"|{config.n_threads}|{compiler_name}|{config.vectorise}"
+        rng = np.random.default_rng(
+            measurement_seed(self.seed, config, compiler_name)
         )
-        digest = hashlib.sha256(key.encode()).digest()
-        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
         cv = self.noise_cv * (1.0 + 0.3 * np.log2(config.n_threads + 1))
         # One batched draw; default_rng yields the same samples as
         # config.runs sequential scalar draws from the same stream.

@@ -325,9 +325,16 @@ class PerformanceModel:
         return 1.0 - (1.0 - 0.02) * (ratio - 0.6) / 0.4
 
     @staticmethod
-    def _spill_fraction_grid(working_set: float, cache_bytes: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`_spill_fraction` over an array of capacities."""
-        if working_set <= 0:
+    def _spill_fraction_grid(
+        working_set: float | np.ndarray, cache_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`_spill_fraction` over an array of capacities.
+
+        ``working_set`` may itself be an array (one entry per grid row)
+        when called from the megagrid planner; the arithmetic is
+        elementwise either way.
+        """
+        if np.any(np.asarray(working_set) <= 0):
             raise ValueError("working_set must be positive")
         ratio = cache_bytes / working_set
         trans = 1.0 - (1.0 - 0.02) * (ratio - 0.6) / 0.4

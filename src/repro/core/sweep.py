@@ -26,27 +26,31 @@ isolation is ever needed.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 from repro import faults, obs
-from repro.faults import GroupTimeoutError, TransientError
+from repro.faults import GroupTimeoutError, SweepJournal, TransientError
 
 from .experiment import DEFAULT_RUNS, ExperimentConfig, ExperimentRunner
-from .perfmodel import DNRError
+from .perfmodel import DNRError, PerformanceModel
+from .plan import PlanNotApplicable, plan_groups
 from .results import ExperimentResult
 
 __all__ = [
     "SweepEngine",
     "expand_grid",
     "paper_vectorise",
+    "compute_cache_key",
     "default_engine",
     "set_default_jobs",
     "set_default_retries",
+    "set_default_procs",
     "clear_caches",
     "DEFAULT_RETRIES",
 ]
@@ -115,6 +119,29 @@ def expand_grid(
     return out
 
 
+def compute_cache_key(
+    seed: int, noise_cv: float, calibrate: bool, config: ExperimentConfig
+) -> tuple:
+    """The full memo key for one config under given runner settings.
+
+    Module-level (not only an engine method) so process-shard workers,
+    which reconstruct the runner from ``(seed, noise_cv, calibrate)``,
+    derive byte-identical journal keys without an engine instance.
+    """
+    return (
+        seed,
+        noise_cv,
+        calibrate,
+        config.machine,
+        config.kernel,
+        config.npb_class,
+        config.n_threads,
+        config.resolved_compiler(),
+        config.vectorise,
+        config.runs,
+    )
+
+
 class SweepEngine:
     """Memoising, optionally parallel front-end over an ExperimentRunner.
 
@@ -142,6 +169,20 @@ class SweepEngine:
         Optional :class:`repro.faults.SweepJournal`; completed families
         are persisted as they land and preloaded on attach, so an
         interrupted run resumes from completed families.
+    procs:
+        Worker *processes* for cold batches: when ``> 1`` (and the
+        planner is applicable) pending families are sharded round-robin
+        across forked workers, each journaling to a per-shard sidecar
+        merged by cache key on completion.  ``None`` reads
+        ``REPRO_PROCS``, falling back to ``1`` (no sharding).
+    planner:
+        Whether cold batches may be flattened into one megagrid pass
+        (:func:`repro.core.plan.plan_groups`) instead of per-family
+        ``predict_batch`` calls.  ``None`` reads ``REPRO_PLANNER``
+        (default on; set ``0`` to disable).  The planner is bypassed
+        automatically whenever it could not reproduce the per-family
+        path bit-for-bit (fault injection enabled, per-group timeouts,
+        subclassed runners/models).
 
     Results are memoised per exact (seed, noise, calibration, config)
     tuple; "Did Not Run" configurations cache their :class:`DNRError`
@@ -157,7 +198,11 @@ class SweepEngine:
     single-flight table (``_inflight``) guarantees each cache key is
     executed at most once even when concurrent :meth:`run_many` calls
     race on the same cold keys -- late arrivals wait on the claimant's
-    event instead of duplicating work.
+    event instead of duplicating work.  Single-flight extends to
+    **subgrid containment**: a batch whose cold keys are all contained
+    in one in-flight super-sweep waits on that sweep's single completion
+    event (counted by ``sweep.containment_waits``) instead of
+    accumulating per-key events.
 
     Observability: cache hits/misses, executed configs/groups and DNR
     outcomes are mirrored into :mod:`repro.obs` counters, and every
@@ -174,9 +219,13 @@ class SweepEngine:
         backoff_s: float = 0.02,
         group_timeout_s: float | None = None,
         journal=None,
+        procs: int | None = None,
+        planner: bool | None = None,
     ) -> None:
         self.runner = runner or ExperimentRunner()
         self.jobs = self._resolve_jobs(jobs)
+        self.procs = self._resolve_procs(procs)
+        self.planner = self._resolve_planner(planner)
         self.retries = self._resolve_retries(retries)
         if backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
@@ -185,6 +234,8 @@ class SweepEngine:
         self._sleep = time.sleep
         self._results: dict[tuple, ExperimentResult | DNRError] = {}
         self._inflight: dict[tuple, threading.Event] = {}
+        self._inflight_sweeps: dict[int, tuple[frozenset, threading.Event]] = {}
+        self._sweep_seq = 0
         self._lock = threading.Lock()
         self._journal = None
         self.hits = 0
@@ -195,6 +246,17 @@ class SweepEngine:
 
     @staticmethod
     def _resolve_jobs(jobs: int | None) -> int:
+        """Resolve the worker-thread count for batch execution.
+
+        Explicit requests -- the ``jobs`` argument or the ``REPRO_JOBS``
+        environment variable -- are honoured verbatim, with no upper
+        cap: an operator who asks for 32 threads gets 32.  Only the
+        *implicit* default is capped at ``min(8, cpu_count)``, because
+        model evaluation is GIL-bound numpy and threads beyond a handful
+        add scheduling overhead without throughput.  The value an engine
+        actually resolved is surfaced by ``repro stats`` through the
+        ``sweep.jobs_resolved`` counter.
+        """
         if jobs is None:
             env = os.environ.get("REPRO_JOBS")
             if env is not None:
@@ -204,6 +266,28 @@ class SweepEngine:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         return jobs
+
+    @staticmethod
+    def _resolve_procs(procs: int | None) -> int:
+        """Resolve the worker-process count (``REPRO_PROCS``, default 1).
+
+        Unlike ``jobs`` there is no implicit multi-proc default: forking
+        is a behaviour change an operator opts into via the argument,
+        the ``--procs`` flag or the environment.  Surfaced by ``repro
+        stats`` as ``sweep.procs_resolved``.
+        """
+        if procs is None:
+            env = os.environ.get("REPRO_PROCS")
+            procs = int(env) if env is not None else 1
+        if procs < 1:
+            raise ValueError("procs must be >= 1")
+        return procs
+
+    @staticmethod
+    def _resolve_planner(planner: bool | None) -> bool:
+        if planner is None:
+            return os.environ.get("REPRO_PLANNER", "1") != "0"
+        return bool(planner)
 
     @staticmethod
     def _resolve_retries(retries: int | None) -> int:
@@ -221,17 +305,8 @@ class SweepEngine:
     def cache_key(self, config: ExperimentConfig) -> tuple:
         """Everything that can influence this config's result."""
         runner = self.runner
-        return (
-            runner.seed,
-            runner.noise_cv,
-            runner.model.calibrate,
-            config.machine,
-            config.kernel,
-            config.npb_class,
-            config.n_threads,
-            config.resolved_compiler(),
-            config.vectorise,
-            config.runs,
+        return compute_cache_key(
+            runner.seed, runner.noise_cv, runner.model.calibrate, config
         )
 
     def clear_cache(self) -> None:
@@ -258,11 +333,36 @@ class SweepEngine:
         journal's keys embed the runner seed, noise level and calibration
         flag, so entries written under different settings never match a
         key this engine asks for -- a stale journal is inert, not wrong.
+
+        Leftover per-shard sidecars (``<journal>.shardN``, from a
+        sharded run that died before its merge) are folded into the main
+        journal here and removed.
         """
         with self._lock:
             self._journal = journal
             for key, value in journal.results().items():
                 self._results.setdefault(key, value)
+        self._absorb_shard_sidecars(journal)
+
+    def _absorb_shard_sidecars(self, journal) -> None:
+        """Merge and remove ``<journal>.shardN`` sidecar files.
+
+        Sidecar entries are keyed by the same full cache keys as the
+        main journal, so they merge (then vanish) exactly like a resumed
+        main journal; entries from mismatched settings stay inert.
+        """
+        pattern = journal.path.name + ".shard*"
+        for sidecar_path in sorted(journal.path.parent.glob(pattern)):
+            entries = SweepJournal(sidecar_path).results()
+            if entries:
+                journal.record(entries)
+                with self._lock:
+                    for key, value in entries.items():
+                        self._results.setdefault(key, value)
+            try:
+                os.unlink(sidecar_path)
+            except OSError:
+                pass
 
     def detach_journal(self) -> None:
         """Stop journaling (already-loaded results stay cached)."""
@@ -362,11 +462,17 @@ class SweepEngine:
         no other caller executes it.  Returns the claimed configs, the
         configs being executed by concurrent callers (``waiting``), and the
         events signalling those concurrent executions.
+
+        Subgrid containment: when the batch claims nothing and every key
+        it is waiting on belongs to a single in-flight super-sweep, the
+        per-key events collapse to that sweep's one completion event --
+        the contained request simply rides the super-sweep.
         """
         pending: dict[tuple, ExperimentConfig] = {}
         waiting: dict[tuple, ExperimentConfig] = {}
         events: list[threading.Event] = []
         hits = misses = 0
+        contained = False
         with self._lock:
             for key, config in zip(keys, configs):
                 if key in self._results or key in pending:
@@ -382,8 +488,16 @@ class SweepEngine:
                     self._inflight[key] = threading.Event()
             self.hits += hits
             self.misses += misses
+            if waiting and not pending:
+                for keyset, sweep_event in self._inflight_sweeps.values():
+                    if keyset.issuperset(waiting):
+                        events = [sweep_event]
+                        contained = True
+                        break
         obs.incr("sweep.cache_hits", hits)
         obs.incr("sweep.cache_misses", misses)
+        if contained:
+            obs.incr("sweep.containment_waits")
         return pending, waiting, events
 
     def _reclaim(
@@ -410,7 +524,17 @@ class SweepEngine:
         return pending, waiting, events
 
     def _execute_pending(self, pending: dict[tuple, ExperimentConfig]) -> None:
-        """Execute claimed configs grouped into families, then release claims."""
+        """Execute claimed configs grouped into families, then release claims.
+
+        The whole claimed key-set is also registered as one in-flight
+        *sweep* with a single completion event, so later batches whose
+        keys it contains can wait on it wholesale (see :meth:`_claim`).
+        """
+        with self._lock:
+            sweep_id = self._sweep_seq
+            self._sweep_seq += 1
+            sweep_event = threading.Event()
+            self._inflight_sweeps[sweep_id] = (frozenset(pending), sweep_event)
         try:
             families: dict[tuple, list[ExperimentConfig]] = {}
             for config in pending.values():
@@ -425,8 +549,50 @@ class SweepEngine:
                     event = self._inflight.pop(key, None)
                     if event is not None:
                         event.set()
+                self._inflight_sweeps.pop(sweep_id, None)
+                sweep_event.set()
+
+    def _planner_applicable(self) -> bool:
+        """Whether cold batches may route through the flat megagrid pass.
+
+        The planner cannot reproduce fault-injection probes (one
+        ``faults.inject`` per family attempt) or per-group timeout
+        preemption, so either forces the per-family path.  Subclassed
+        runners/models are detected inside
+        :func:`repro.core.plan.plan_groups` itself, which refuses with
+        :class:`PlanNotApplicable` (for process sharding, where the
+        worker never sees the parent's objects, :meth:`_runner_is_stock`
+        re-checks up front).
+        """
+        return (
+            self.planner
+            and self.group_timeout_s is None
+            and not faults.is_enabled()
+        )
+
+    def _runner_is_stock(self) -> bool:
+        """Whether shard workers can reconstruct this runner exactly.
+
+        Workers rebuild the runner from ``(seed, noise_cv, calibrate)``;
+        that reconstruction is only faithful for the stock classes.
+        """
+        return (
+            type(self.runner) is ExperimentRunner
+            and type(self.runner.model) is PerformanceModel
+        )
 
     def _execute_groups(self, groups: list[list[ExperimentConfig]]) -> None:
+        # Process sharding runs before any span handles are opened: shard
+        # workers record the group spans themselves and the parent grafts
+        # them, so pre-opened handles would double-count.
+        if (
+            self.procs > 1
+            and len(groups) > 1
+            and self._planner_applicable()
+            and _fork_available()
+        ):
+            if self._execute_groups_sharded(groups):
+                return
         # Group spans are opened here, in the submitting thread, so the
         # span tree's shape is identical for serial and parallel runs.
         # Handles whose group never executes (pool startup failure, a
@@ -438,6 +604,9 @@ class SweepEngine:
         ]
         executed = [False] * len(groups)
         try:
+            if self._planner_applicable():
+                if self._execute_groups_planned(groups, handles, executed):
+                    return
             if self.jobs > 1 and len(groups) > 1:
                 if self._execute_groups_pooled(groups, handles, executed):
                     return
@@ -452,6 +621,148 @@ class SweepEngine:
             for done, handle in zip(executed, handles):
                 if not done:
                     obs.abandon_span(handle)
+
+    def _execute_groups_planned(
+        self,
+        groups: list[list[ExperimentConfig]],
+        handles: list,
+        executed: list[bool],
+    ) -> bool:
+        """One flat megagrid pass over every cold family; True on success.
+
+        The planner computes outcomes side-effect free; each family is
+        then committed under its pre-opened span with exactly the
+        counters the per-family path would have emitted, so caches,
+        journal entries and telemetry are indistinguishable.  A refusal
+        (:class:`PlanNotApplicable`) happens before any work or side
+        effect, and the caller falls back to the per-family path.
+        """
+        try:
+            outcomes = plan_groups(self.runner, groups)
+        except PlanNotApplicable:
+            return False
+        for i, (group, handle, outcome) in enumerate(zip(groups, handles, outcomes)):
+            executed[i] = True
+            self._commit_group(group, handle, outcome)
+        return True
+
+    def _commit_group(self, group, span_handle, outcome) -> None:
+        """Store one planned family exactly as per-family execution would.
+
+        ``outcome`` is the family's shared :class:`DNRError` verdict or
+        its result list.  Counters and the activated span mirror
+        :meth:`_execute_group` plus the ``model.batch_*`` counters the
+        runner would have emitted inside ``run_many``.
+        """
+        with obs.activate(span_handle):
+            obs.incr("model.batch_calls")
+            obs.incr("model.batch_points", len(group))
+            if isinstance(outcome, DNRError):
+                obs.incr("sweep.dnr_raises")
+                with self._lock:
+                    store = {self.cache_key(c): outcome for c in group}
+                    self._results.update(store)
+                self._journal_record(store)
+                return
+            obs.incr("sweep.groups_executed")
+            obs.incr("sweep.configs_executed", len(group))
+            with self._lock:
+                store = dict(zip((self.cache_key(c) for c in group), outcome))
+                self._results.update(store)
+            self._journal_record(store)
+
+    def _execute_groups_sharded(self, groups: list[list[ExperimentConfig]]) -> bool:
+        """Fan cold families out across forked worker processes.
+
+        All-or-nothing: results, counters, span subtrees and main-journal
+        entries are committed only after every shard returns, so a worker
+        failure (or an environment that cannot fork) leaves no trace and
+        the caller falls back to the in-process paths, which reproduce
+        exact per-family semantics -- including re-raising whatever
+        felled the worker.  Workers journal each completed family to a
+        ``<journal>.shardN`` sidecar, so even the discarded partial work
+        of a crashed run survives for :meth:`attach_journal` to absorb.
+        """
+        if not self._runner_is_stock():
+            return False
+        runner = self.runner
+        with self._lock:
+            journal = self._journal
+        base_path = str(journal.path) if journal is not None else None
+        procs = min(self.procs, len(groups))
+        # Contiguous block shards (not round-robin): grafting the shard
+        # span trees in shard order then reproduces the exact child
+        # order the sequential path creates, keeping serialised span
+        # trees byte-identical, not merely equivalent.
+        shards: list[list[tuple[int, list[ExperimentConfig]]]] = []
+        base, extra = divmod(len(groups), procs)
+        start = 0
+        for s in range(procs):
+            size = base + (1 if s < extra else 0)
+            shards.append([(i, groups[i]) for i in range(start, start + size)])
+            start += size
+        telemetry = obs.is_enabled()
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=procs,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        except (RuntimeError, OSError, ValueError):
+            return False
+        merged: list = [None] * len(groups)
+        counter_merge: dict[str, int] = {}
+        span_merge: list[list[dict]] = []
+        sidecars: list[str] = []
+        ok = False
+        try:
+            futures = []
+            for s, shard in enumerate(shards):
+                sidecar = f"{base_path}.shard{s}" if base_path is not None else None
+                payload = (
+                    [group for _, group in shard],
+                    runner.seed,
+                    runner.noise_cv,
+                    runner.model.calibrate,
+                    telemetry,
+                    sidecar,
+                )
+                try:
+                    futures.append((shard, pool.submit(_shard_worker, payload)))
+                except (RuntimeError, OSError):
+                    return False
+                if sidecar is not None:
+                    sidecars.append(sidecar)
+            for shard, future in futures:
+                try:
+                    outcomes, counters, children = future.result()
+                except Exception:  # repro: noqa[R007] -- worker failures fall back to the in-process path, which re-raises with exact per-family semantics
+                    return False
+                for (i, _group), outcome in zip(shard, outcomes):
+                    merged[i] = outcome
+                for name, value in counters.items():
+                    counter_merge[name] = counter_merge.get(name, 0) + value
+                span_merge.append(children)
+            ok = True
+        finally:
+            pool.shutdown(wait=ok, cancel_futures=not ok)
+        for name in sorted(counter_merge):
+            obs.incr(name, counter_merge[name])
+        for children in span_merge:
+            obs.graft_children(children)
+        for group, outcome in zip(groups, merged):
+            if isinstance(outcome, DNRError):
+                store = {self.cache_key(c): outcome for c in group}
+            else:
+                store = dict(zip((self.cache_key(c) for c in group), outcome))
+            with self._lock:
+                self._results.update(store)
+            self._journal_record(store)
+        for sidecar in sidecars:
+            try:
+                os.unlink(sidecar)
+            except OSError:
+                pass
+        return True
 
     def _make_pool(self, workers: int) -> ThreadPoolExecutor:
         """Pool construction, separated so tests can starve it."""
@@ -575,6 +886,117 @@ class SweepEngine:
 
 
 # ----------------------------------------------------------------------
+# Process-shard workers (module-level for pickling across the fork)
+# ----------------------------------------------------------------------
+
+
+def _fork_available() -> bool:
+    """Whether this platform can fork shard workers at all."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _reinit_forked_locks() -> None:
+    """Give a forked shard worker fresh module-level locks.
+
+    ``fork`` snapshots lock state: a lock some other parent thread
+    happened to hold at fork time would be held forever in the child.
+    Every process-wide lock in the package is rebound here, at worker
+    startup, before anything in the child can take one.
+    """
+    import repro.cachesim.stats as _stats
+    import repro.cachesim.trace as _trace
+    import repro.faults.plan as _faults_plan
+    import repro.npb.cg as _cg
+    import repro.npb.ep as _ep
+    import repro.obs as _obs
+
+    from . import plan as _plan
+
+    global _default_lock, _default_engine
+    _obs._recorder_lock = threading.Lock()
+    _faults_plan._plan_lock = threading.Lock()
+    _stats._profile_lock = threading.Lock()
+    _trace._trace_lock = threading.Lock()
+    _cg._matrix_lock = threading.Lock()
+    _ep._golden_lock = threading.Lock()
+    _plan._fastpath_lock = threading.Lock()
+    _default_lock = threading.Lock()  # repro: noqa[R002] -- freshly forked child is single-threaded; the stale lock being replaced is itself the hazard
+    with _default_lock:
+        # The inherited default engine carries the parent's (possibly
+        # held) instance locks; drop it so any use in the child starts
+        # from a clean engine.
+        _default_engine = None
+
+
+def _shard_worker(payload: tuple):
+    """Evaluate one shard of thread-sweep families in a forked child.
+
+    Reconstructs a stock runner from the parent's ``(seed, noise_cv,
+    calibrate)`` triple (faithful by the parent's ``_runner_is_stock``
+    gate), evaluates its families through the planner with a per-family
+    fallback, and emits per-group telemetry into a private recorder
+    whose counters and span children the parent merges deterministically.
+    Completed families are journaled to the per-shard sidecar as they
+    land, so a crash after partial progress still leaves resumable
+    state.  Non-DNR errors propagate to the parent, which discards the
+    whole sharded attempt and re-executes in process.
+    """
+    groups, seed, noise_cv, calibrate, telemetry, sidecar = payload
+    _reinit_forked_locks()
+    recorder = obs.install() if telemetry else None
+    if recorder is None:
+        obs.disable()
+    runner = ExperimentRunner(
+        model=PerformanceModel(calibrate=calibrate), noise_cv=noise_cv, seed=seed
+    )
+    journal = SweepJournal(sidecar) if sidecar is not None else None
+    try:
+        planned = plan_groups(runner, groups)
+    except PlanNotApplicable:
+        planned = None
+    outcomes = []
+    for idx, group in enumerate(groups):
+        handle = obs.open_span(f"group[{group[0].kernel}/{group[0].npb_class}]")
+        with obs.activate(handle):
+            if planned is not None:
+                outcome = planned[idx]
+                obs.incr("model.batch_calls")
+                obs.incr("model.batch_points", len(group))
+            else:
+                try:
+                    outcome = runner.run_many(group)
+                except DNRError as exc:
+                    outcome = exc
+            if isinstance(outcome, DNRError):
+                obs.incr("sweep.dnr_raises")
+                store = {
+                    compute_cache_key(seed, noise_cv, calibrate, c): outcome
+                    for c in group
+                }
+            else:
+                obs.incr("sweep.groups_executed")
+                obs.incr("sweep.configs_executed", len(group))
+                store = dict(
+                    zip(
+                        (
+                            compute_cache_key(seed, noise_cv, calibrate, c)
+                            for c in group
+                        ),
+                        outcome,
+                    )
+                )
+            if journal is not None:
+                journal.record(store)
+        outcomes.append(outcome)
+    if recorder is not None:
+        counters = recorder.counters_snapshot()
+        children = recorder.span_tree()["children"]
+    else:
+        counters, children = {}, []
+    return outcomes, counters, children
+
+
+# ----------------------------------------------------------------------
 # Process-wide default engine (what the harness and CLI share)
 # ----------------------------------------------------------------------
 
@@ -605,6 +1027,12 @@ def set_default_retries(retries: int | None) -> None:
     """Set the transient-retry budget on the shared engine (``--retries``)."""
     engine = default_engine()
     engine.retries = SweepEngine._resolve_retries(retries)
+
+
+def set_default_procs(procs: int | None) -> None:
+    """Set worker-process count on the shared engine (the ``--procs`` flag)."""
+    engine = default_engine()
+    engine.procs = SweepEngine._resolve_procs(procs)
 
 
 def clear_caches() -> None:

@@ -21,6 +21,7 @@ from .report import render_csv
 
 __all__ = [
     "FigureResult",
+    "figure_grid",
     "figure1",
     "figure2",
     "figure3",
@@ -84,6 +85,35 @@ class FigureResult:
         return render_csv(headers, rows)
 
 
+def _scaling_grid(kernel: str) -> list[ExperimentConfig]:
+    """The flat thread-scaling grid figures 2-6 prefetch for ``kernel``."""
+    vectorise = paper_vectorise(kernel)  # the paper's Section 6 exception
+    return [
+        ExperimentConfig(
+            machine=machine,
+            kernel=kernel,
+            npb_class="C",
+            n_threads=n,
+            vectorise=vectorise,
+        )
+        for machine in PAPER_HPC_MACHINES
+        for n in _sweep_for(machine)
+    ]
+
+
+def figure_grid(number: int) -> list[ExperimentConfig]:
+    """The experiment grid ``figureN()`` prefetches (empty when none).
+
+    Figure 1 is pure STREAM bandwidth (no sweep), so its grid is empty.
+    Like :func:`repro.harness.tables.table_grid`, this lets multi-artifact
+    callers flatten everything into one planner megagrid up front.
+    """
+    if number not in FIGURE_BUILDERS:
+        raise KeyError(f"the paper has figures 1-6; no figure {number}")
+    kernel = _FIGURE_KERNELS.get(number)
+    return [] if kernel is None else _scaling_grid(kernel)
+
+
 def figure1() -> FigureResult:
     """STREAM copy bandwidth vs cores: SG2044 scales, SG2042 plateaus."""
     fig = FigureResult(
@@ -111,21 +141,9 @@ def _kernel_scaling_figure(number: int, kernel: str, caption: str) -> FigureResu
         x_label="threads",
         y_label="Mop/s",
     )
-    vectorise = paper_vectorise(kernel)  # the paper's Section 6 exception
     # One flat batch: each machine's sweep is a single vectorised model
     # evaluation, and the sweeps run in parallel across machines.
-    configs = [
-        ExperimentConfig(
-            machine=machine,
-            kernel=kernel,
-            npb_class="C",
-            n_threads=n,
-            vectorise=vectorise,
-        )
-        for machine in PAPER_HPC_MACHINES
-        for n in _sweep_for(machine)
-    ]
-    results = iter(default_engine().run_many(configs))
+    results = iter(default_engine().run_many(_scaling_grid(kernel)))
     for machine in PAPER_HPC_MACHINES:
         label = get_machine(machine).label
         fig.series[label] = [
@@ -177,6 +195,8 @@ FIGURE_BUILDERS = {
     5: figure5,
     6: figure6,
 }
+
+_FIGURE_KERNELS = {2: "is", 3: "mg", 4: "ep", 5: "cg", 6: "ft"}
 
 
 def build_figure(number: int) -> FigureResult:

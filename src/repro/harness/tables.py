@@ -26,6 +26,7 @@ from .report import render_csv, render_table
 
 __all__ = [
     "TableResult",
+    "table_grid",
     "table1",
     "table2",
     "table3",
@@ -90,6 +91,69 @@ def _mops(
 
 
 # ----------------------------------------------------------------------
+# Per-table prefetch grids.  Each builder batch-executes its whole grid
+# up front; exposing the grids separately lets callers regenerating
+# several artifacts (``repro export``, a full paper run) flatten them
+# into ONE ``run_many`` megagrid -- a single planner pass, sharded
+# across processes under ``--procs`` -- after which the per-table
+# prefetches below are pure cache hits.
+
+
+def _table2_grid() -> list[ExperimentConfig]:
+    return expand_grid(PAPER_RISCV_BOARDS, paper.KERNELS, classes="B", thread_counts=1)
+
+
+def _table3_grid() -> list[ExperimentConfig]:
+    return expand_grid(("sg2044", "sg2042"), paper.KERNELS, classes="C", thread_counts=1)
+
+
+def _table4_grid() -> list[ExperimentConfig]:
+    return expand_grid(("sg2044", "sg2042"), paper.KERNELS, classes="C", thread_counts=64)
+
+
+def _table6_grid() -> list[ExperimentConfig]:
+    machines = ("sg2044", "sg2042", "epyc7742", "skylake8170", "thunderx2")
+    return [
+        ExperimentConfig(
+            machine=m,
+            kernel=app,
+            npb_class="C",
+            n_threads=cores,
+            vectorise=paper_vectorise(app),
+        )
+        for app in paper.PSEUDO_APPS
+        for cores in (16, 26, 32, 64)
+        for m in machines
+        if cores <= get_machine(m).n_cores
+    ]
+
+
+def _compiler_grid(n_threads: int) -> list[ExperimentConfig]:
+    combos = (("gcc-12.3.1", True), ("gcc-15.2", True), ("gcc-15.2", False))
+    return [
+        ExperimentConfig(
+            machine="sg2044",
+            kernel=kernel,
+            npb_class="C",
+            n_threads=n_threads,
+            compiler=compiler,
+            vectorise=vec,
+        )
+        for kernel in paper.KERNELS
+        for compiler, vec in combos
+    ]
+
+
+def table_grid(number: int) -> list[ExperimentConfig]:
+    """The experiment grid ``tableN()`` prefetches (empty when none).
+
+    Tables 1 and 5 need no sweep (trace simulation / catalog data), so
+    their grids are empty.
+    """
+    if number not in TABLE_BUILDERS:
+        raise KeyError(f"the paper has tables 1-8; no table {number}")
+    builder = _TABLE_GRIDS.get(number)
+    return [] if builder is None else builder()
 
 
 def table1(n_accesses: int = 60_000) -> TableResult:
@@ -120,10 +184,7 @@ def table1(n_accesses: int = 60_000) -> TableResult:
 def table2() -> TableResult:
     """Single-core RISC-V comparison, class B (incl. the D1's FT DNR)."""
     engine = default_engine()
-    engine.run_many(
-        expand_grid(PAPER_RISCV_BOARDS, paper.KERNELS, classes="B", thread_counts=1),
-        on_dnr="none",
-    )
+    engine.run_many(_table2_grid(), on_dnr="none")
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
         ref = _mops(engine, "sg2044", kernel, "B", 1)
@@ -152,9 +213,7 @@ def table2() -> TableResult:
 def table3() -> TableResult:
     """SG2044 vs SG2042, single core, class C."""
     engine = default_engine()
-    engine.run_many(
-        expand_grid(("sg2044", "sg2042"), paper.KERNELS, classes="C", thread_counts=1)
-    )
+    engine.run_many(_table3_grid())
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
         a = _mops(engine, "sg2044", kernel, "C", 1)
@@ -175,9 +234,7 @@ def table3() -> TableResult:
 def table4() -> TableResult:
     """SG2044 vs SG2042, 64 cores, class C (the 1.52x-4.91x headline)."""
     engine = default_engine()
-    engine.run_many(
-        expand_grid(("sg2044", "sg2042"), paper.KERNELS, classes="C", thread_counts=64)
-    )
+    engine.run_many(_table4_grid())
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
         a = _mops(engine, "sg2044", kernel, "C", 64)
@@ -224,20 +281,7 @@ def table6() -> TableResult:
     engine = default_engine()
     rows: list[list[object]] = []
     machines = ("sg2042", "epyc7742", "skylake8170", "thunderx2")
-    grid = [
-        ExperimentConfig(
-            machine=m,
-            kernel=app,
-            npb_class="C",
-            n_threads=cores,
-            vectorise=paper_vectorise(app),
-        )
-        for app in paper.PSEUDO_APPS
-        for cores in (16, 26, 32, 64)
-        for m in ("sg2044",) + machines
-        if cores <= get_machine(m).n_cores
-    ]
-    engine.run_many(grid, on_dnr="none")
+    engine.run_many(_table6_grid(), on_dnr="none")
     for app in paper.PSEUDO_APPS:
         for cores in (16, 26, 32, 64):
             base = _mops(engine, "sg2044", app, "C", cores)
@@ -265,22 +309,7 @@ def table6() -> TableResult:
 
 def _compiler_table(number: int, n_threads: int, paper_table) -> TableResult:
     engine = default_engine()
-    combos = (("gcc-12.3.1", True), ("gcc-15.2", True), ("gcc-15.2", False))
-    engine.run_many(
-        [
-            ExperimentConfig(
-                machine="sg2044",
-                kernel=kernel,
-                npb_class="C",
-                n_threads=n_threads,
-                compiler=compiler,
-                vectorise=vec,
-            )
-            for kernel in paper.KERNELS
-            for compiler, vec in combos
-        ],
-        on_dnr="none",
-    )
+    engine.run_many(_compiler_grid(n_threads), on_dnr="none")
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
         old = _mops(
@@ -336,6 +365,15 @@ TABLE_BUILDERS = {
     6: table6,
     7: table7,
     8: table8,
+}
+
+_TABLE_GRIDS = {
+    2: _table2_grid,
+    3: _table3_grid,
+    4: _table4_grid,
+    6: _table6_grid,
+    7: lambda: _compiler_grid(1),
+    8: lambda: _compiler_grid(64),
 }
 
 

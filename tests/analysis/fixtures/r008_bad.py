@@ -1,0 +1,31 @@
+"""R008 known-bad: process-shard workers mutating module-global state."""
+
+import threading
+
+_results = {}
+_counts = []
+_merge_lock = threading.Lock()
+_total = 0
+
+
+def merge_shard(payload):
+    _results[payload[0]] = payload[1]
+
+
+def _collect_worker(items):
+    for item in items:
+        _counts.append(item)
+
+
+def _fold_worker(items):
+    with _merge_lock:  # the child's lock is a stale fork-time copy
+        _results.update(items)
+
+
+def tally(n):
+    global _total
+    _total += n
+
+
+def fan_out(pool, chunks):
+    return [pool.submit(tally, len(chunk)) for chunk in chunks]

@@ -1,0 +1,32 @@
+"""R008 known-good: workers return data; the parent merges it in-process."""
+
+import threading
+
+_results = {}
+_merge_lock = threading.Lock()
+
+
+def merge_shard(payload):
+    out = {}
+    for key, value in payload:
+        out[key] = value
+    return out
+
+
+def _scan_worker(items):
+    counts = []
+    for item in items:
+        counts.append(item)
+    return counts, len(items)
+
+
+def fan_out(pool, chunks):
+    return [pool.submit(_scan_worker, chunk) for chunk in chunks]
+
+
+def absorb(shards):
+    # Parent-side merge: in-process, under a live lock (R002's concern,
+    # satisfied here; R008 does not apply to non-worker functions).
+    with _merge_lock:
+        for shard in shards:
+            _results.update(shard)

@@ -19,6 +19,7 @@ CASES = [
     ("R005", 4),
     ("R006", 4),
     ("R007", 4),
+    ("R008", 4),
 ]
 
 
