@@ -1,17 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test faults bench bench-full bench-grid stats
+.PHONY: lint lint-cold test faults bench bench-full bench-grid stats
 
-# Repo-aware static analysis (R001-R008), then ruff/mypy when installed.
+# Repo-aware static analysis on the incremental engine (unchanged files
+# replay from .repro-lint-cache.json), then ruff/mypy when installed.
 lint:
-	$(PYTHON) -m repro lint --format json
+	$(PYTHON) -m repro lint --format json --stats
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
 		&& $(PYTHON) -m ruff check src tests benchmarks \
 		|| echo "ruff not installed; skipping"
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 		&& $(PYTHON) -m mypy src/repro \
 		|| echo "mypy not installed; skipping"
+
+# Escape hatch: full from-scratch analysis, no cache read or written.
+lint-cold:
+	$(PYTHON) -m repro lint --format json --no-cache
 
 test: lint
 	$(PYTHON) -m pytest -x -q

@@ -1,0 +1,74 @@
+"""Small AST helpers shared by the rules and the analysis substrate."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportTable", "dotted_name", "terminal_name", "const_int"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute chain (``c`` for ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def const_int(node: ast.AST) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+class ImportTable:
+    """Maps local names to the dotted module/object paths they import.
+
+    ``import numpy as np``          -> ``np: numpy``
+    ``import numpy.random``         -> ``numpy: numpy`` (chain resolution
+    walks attributes, so ``numpy.random.rand`` still resolves)
+    ``from numpy import random``    -> ``random: numpy.random``
+    ``from time import perf_counter as pc`` -> ``pc: time.perf_counter``
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted path of a Name/Attribute chain, resolving
+        the leading segment through the import table.  ``None`` when the
+        chain does not start at an imported name."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        base = self.aliases.get(head)
+        if base is None:
+            return None
+        return f"{base}.{rest}" if rest else base

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from .core import Rule
 
-__all__ = ["register", "all_rules", "get_rule", "rules_for"]
+__all__ = ["register", "all_rules", "get_rule", "rules_for", "registered_codes"]
 
 _REGISTRY: dict[str, type[Rule]] = {}
 
@@ -31,6 +31,13 @@ def all_rules() -> list[Rule]:
     """One instance of every registered rule, in code order."""
     _ensure_loaded()
     return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def registered_codes() -> list[str]:
+    """Every registered rule code, sorted (CLI help derives its range
+    from this so it cannot drift from the registry)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
 
 
 def get_rule(code: str) -> Rule:

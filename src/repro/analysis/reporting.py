@@ -19,7 +19,7 @@ import json
 
 from .core import AnalysisReport
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_stats"]
 
 
 def render_text(report: AnalysisReport) -> str:
@@ -46,3 +46,27 @@ def render_text(report: AnalysisReport) -> str:
 
 def render_json(report: AnalysisReport) -> str:
     return json.dumps(report.to_dict(), indent=2, sort_keys=False) + "\n"
+
+
+def render_stats(report: AnalysisReport) -> str:
+    """One ``repro lint --stats`` line: cache effectiveness + rule costs.
+
+    Deliberately not part of the JSON schema -- it describes *this run*
+    (cache state, worker count), not the code under analysis.
+    """
+    stats = report.stats
+    parts = [
+        f"stats: {stats.files_checked} files "
+        f"({stats.files_cached} cached, {stats.files_analyzed} analyzed)",
+        f"jobs {stats.jobs}",
+        f"cache {stats.cache_path or 'off'}",
+    ]
+    timings = sorted(
+        stats.rule_timings_s.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    if timings:
+        parts.append(
+            "timings "
+            + ", ".join(f"{key} {sec * 1e3:.1f}ms" for key, sec in timings)
+        )
+    return " | ".join(parts) + "\n"

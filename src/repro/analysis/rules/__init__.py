@@ -1,11 +1,14 @@
-"""Built-in rules.  Importing this package registers R001-R008."""
+"""Built-in rules.  Importing this package registers R001-R011."""
 
 from __future__ import annotations
 
 from . import (  # noqa: F401
+    blocking,
     catalog,
     concurrency,
     determinism,
+    forksafety,
+    lockorder,
     parity,
     procshard,
     resilience,
@@ -22,4 +25,7 @@ __all__ = [
     "telemetry",
     "resilience",
     "procshard",
+    "lockorder",
+    "blocking",
+    "forksafety",
 ]

@@ -12,6 +12,12 @@ by the memoising accessors (``build_trace``, ``make_matrix``) are shared
 across threads and must never be mutated in place -- flagged are
 subscript/augmented assignment into them and ``.setflags(write=True)``
 re-arming of a cached array.
+
+This rule sees one file at a time and only asks *whether* a lock is
+held.  The whole-program rules built on the lock model pick up where it
+stops: R009 (``lockorder``) checks that lock *pairs* are acquired in a
+consistent order across the call graph, and R010 (``blocking``) checks
+that nothing blocking runs while a lock is held.
 """
 
 from __future__ import annotations

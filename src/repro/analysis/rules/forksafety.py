@@ -1,0 +1,108 @@
+"""R011: fork-safety -- forked workers must re-initialise inherited locks.
+
+Process-shard workers run in forked children.  Every module-level lock
+the child inherits is a byte-copy of the parent's: if any parent thread
+held it at fork time it is held *forever* in the child, and even when
+free it guards state the parent will never see again.  The sanctioned
+pattern is the one ``repro.core.sweep._reinit_forked_locks`` uses --
+first thing in the worker, rebind every module-level lock the worker's
+call graph touches to a fresh ``threading.Lock()``.  Module-level
+``ProcessPoolExecutor`` state is worse still: the child's copy of the
+parent's pool handle points at processes it cannot manage.
+
+This rule generalises R008's per-file heuristic interprocedurally: a
+worker entry point is any function submitted to a statically-known
+``ProcessPoolExecutor`` or named like a worker (``*_worker``,
+``*shard*``), and the rule walks its whole transitive call graph.  It
+flags, at the first witnessing site inside the worker:
+
+* acquisition (direct or via calls) of a module-level lock that the
+  worker's closure never re-initialises, and
+* any use of a module-level executor global from the forked child.
+
+Instance locks (``self._lock``) are exempt -- objects constructed after
+the fork get fresh locks for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..callgraph import ProjectIndex
+from ..core import Finding
+from ..locks import ConcurrencyRule
+from ..registry import register
+
+__all__ = ["ForkSafetyRule"]
+
+
+@register
+class ForkSafetyRule(ConcurrencyRule):
+    code = "R011"
+    name = "fork-safety"
+    description = (
+        "process-shard worker reaches a module-level lock (or executor "
+        "global) without the fork re-init pattern"
+    )
+
+    def project_findings(self, facts_by_path: dict[str, object]) -> Iterator[Finding]:
+        index = ProjectIndex(facts_by_path)
+        for fnid in index.worker_entries():
+            fn = index.function(fnid)
+            if fn is None:
+                continue
+            path = index.path_for(fnid.partition("::")[0])
+            if path is None:
+                continue
+            name = fnid.partition("::")[2]
+            reinit = index.reinit_closure(fnid)
+
+            # lock id -> first witnessing (line, col, via-chain|None)
+            witnesses: dict[str, tuple[int, int, str | None]] = {}
+            exec_witnesses: dict[str, tuple[int, int, str | None]] = {}
+
+            def witness(table, key, line, col, via):
+                prev = table.get(key)
+                if prev is None or (line, col) < prev[:2]:
+                    table[key] = (line, col, via)
+
+            for lock, line, col, _held in fn.get("acquires", ()):
+                if lock in index.module_locks:
+                    witness(witnesses, lock, line, col, None)
+            mod = fnid.partition("::")[0]
+            for exec_name, eline, ecol in fn.get("exec_loads", ()):
+                exec_id = f"{mod}.{exec_name}"
+                if exec_id in index.executors:
+                    witness(exec_witnesses, exec_id, eline, ecol, None)
+            for chain, line, col, _held in fn.get("calls", ()):
+                target = index.resolve_call(fnid, chain)
+                if target is None:
+                    continue
+                for lock in index.acquire_closure(target):
+                    if lock in index.module_locks:
+                        witness(witnesses, lock, line, col, chain)
+                for exec_id in index.executor_closure(target):
+                    witness(exec_witnesses, exec_id, line, col, chain)
+
+            for lock in sorted(witnesses):
+                if lock in reinit:
+                    continue
+                line, col, via = witnesses[lock]
+                how = f"(via `{via}`) " if via else ""
+                yield Finding(
+                    self.code, path, line, col,
+                    f"worker `{name}` acquires module-level lock `{lock}` "
+                    f"{how}in the forked child without re-initialising "
+                    "it; rebind it to a fresh Lock first (see "
+                    "sweep._reinit_forked_locks)",
+                )
+            for exec_id in sorted(exec_witnesses):
+                line, col, via = exec_witnesses[exec_id]
+                how = f"(via `{via}`) " if via else ""
+                yield Finding(
+                    self.code, path, line, col,
+                    f"worker `{name}` uses module-level executor "
+                    f"`{exec_id}` {how}from the forked child; the "
+                    "inherited pool handle points at processes the child "
+                    "does not own",
+                )

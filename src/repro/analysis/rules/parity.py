@@ -33,7 +33,7 @@ partial signature.
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator
 
 from ..core import Finding, ProjectRule, SourceModule
 from ..registry import register
@@ -140,81 +140,117 @@ class ParityRule(ProjectRule):
         return bool(names & _THREAD_PARAMS)
 
     # -- project: kernel registration completeness ---------------------
+    #
+    # The cross-file part runs through the incremental facts API: each
+    # file is reduced once (and cached) to the registration facts below;
+    # project_findings recombines them without re-parsing anything.
 
-    def check_project(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
-        kernels: dict[str, SourceModule] = {}
-        signatures: tuple[SourceModule, dict[str, ast.expr]] | None = None
-        traces: tuple[SourceModule, set[str]] | None = None
+    facts_key = "parity"
+
+    @classmethod
+    def extract_facts(cls, module: SourceModule) -> dict | None:
+        facts: dict = {}
+        if _dict_literal(module, ENGINE_REGISTRY) is not None:
+            facts["registry_seen"] = True
+        vectorized = [
+            [stmt.lineno, stmt.col_offset]
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == _VECTORIZED_ENTRY
+        ]
+        if vectorized:
+            facts["vectorized_defs"] = vectorized
+        if module.path.parent.name == "npb":
+            stem = module.path.stem.rstrip("_")
+            kernels = [
+                stmt.name[len("run_"):]
+                for stmt in module.tree.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name.startswith("run_")
+                and stmt.name[len("run_"):] == stem
+                and stmt.name[len("run_"):] not in _NON_KERNEL_RUNNERS
+            ]
+            if kernels:
+                facts["kernels"] = kernels
+        builders = _dict_literal(module, "SIGNATURE_BUILDERS")
+        if builders is not None:
+            facts["builders"] = sorted(builders)
+            facts["builder_findings"] = [
+                [f.line, f.col, f.message]
+                for f in cls._builder_findings(module, builders)
+            ]
+        trace_keys = _dict_literal(module, "KERNEL_TRACES")
+        if trace_keys is not None:
+            facts["traces"] = sorted(trace_keys)
+        return facts or None
+
+    def project_findings(self, facts_by_path: dict[str, object]) -> Iterator[Finding]:
+        kernels: dict[str, str] = {}
+        signatures: tuple[str, list[str], list] | None = None
+        traces: tuple[str, set[str]] | None = None
         registry_seen = False
-        vectorized_defs: list[tuple[SourceModule, ast.FunctionDef]] = []
+        vectorized_defs: list[tuple[str, int, int]] = []
 
-        for module in modules:
-            if _dict_literal(module, ENGINE_REGISTRY) is not None:
+        for path, facts in facts_by_path.items():
+            if facts.get("registry_seen"):
                 registry_seen = True
-            for stmt in module.tree.body:
-                if isinstance(stmt, ast.FunctionDef) \
-                        and stmt.name == _VECTORIZED_ENTRY:
-                    vectorized_defs.append((module, stmt))
-            if module.path.parent.name == "npb":
-                stem = module.path.stem.rstrip("_")
-                for stmt in module.tree.body:
-                    if isinstance(stmt, ast.FunctionDef) \
-                            and stmt.name.startswith("run_"):
-                        kernel = stmt.name[len("run_"):]
-                        if kernel == stem and kernel not in _NON_KERNEL_RUNNERS:
-                            kernels[kernel] = module
-            builders = _dict_literal(module, "SIGNATURE_BUILDERS")
-            if builders is not None:
-                signatures = (module, builders)
-            trace_keys = _dict_literal(module, "KERNEL_TRACES")
-            if trace_keys is not None:
-                traces = (module, set(trace_keys))
+            for line, col in facts.get("vectorized_defs", ()):
+                vectorized_defs.append((path, line, col))
+            for kernel in facts.get("kernels", ()):
+                kernels[kernel] = path
+            if "builders" in facts:
+                signatures = (
+                    path, facts["builders"], facts.get("builder_findings", [])
+                )
+            if "traces" in facts:
+                traces = (path, set(facts["traces"]))
 
         if signatures is not None:
-            sig_module, builders = signatures
+            sig_path, builders, builder_findings = signatures
             if kernels:
-                for kernel, module in sorted(kernels.items()):
+                for kernel, path in sorted(kernels.items()):
                     if kernel not in builders:
-                        yield module.finding(
-                            self.code, 1,
+                        yield Finding(
+                            self.code, path, 1, 0,
                             f"NPB kernel `{kernel}` has no entry in "
                             "SIGNATURE_BUILDERS; the model cannot predict it",
                         )
                 for kernel in sorted(set(builders) - set(kernels)):
-                    yield sig_module.finding(
-                        self.code, 1,
+                    yield Finding(
+                        self.code, sig_path, 1, 0,
                         f"SIGNATURE_BUILDERS registers `{kernel}` but no "
                         f"npb/{kernel}.py module defines `run_{kernel}`",
                     )
-            yield from self._check_builders(sig_module, builders)
+            for line, col, message in builder_findings:
+                yield Finding(self.code, sig_path, line, col, message)
 
         if not registry_seen:
-            for module, stmt in vectorized_defs:
-                yield module.finding(
-                    self.code, stmt,
+            for path, line, col in vectorized_defs:
+                yield Finding(
+                    self.code, path, line, col,
                     f"`{_VECTORIZED_ENTRY}` is defined but no "
                     f"{ENGINE_REGISTRY} registry pairs it with the exact "
                     "oracle; unregistered engines can drift silently",
                 )
 
         if traces is not None and kernels:
-            trace_module, trace_keys = traces
-            for kernel, module in sorted(kernels.items()):
+            trace_path, trace_keys = traces
+            for kernel, path in sorted(kernels.items()):
                 if kernel not in trace_keys:
-                    yield module.finding(
-                        self.code, 1,
+                    yield Finding(
+                        self.code, path, 1, 0,
                         f"NPB kernel `{kernel}` has no KERNEL_TRACES entry; "
                         "the cache simulator cannot characterise it",
                     )
             for kernel in sorted(trace_keys - set(kernels)):
-                yield trace_module.finding(
-                    self.code, 1,
+                yield Finding(
+                    self.code, trace_path, 1, 0,
                     f"KERNEL_TRACES lists `{kernel}` but no npb/{kernel}.py "
                     f"module defines `run_{kernel}`",
                 )
 
-    def _check_builders(
-        self, module: SourceModule, builders: dict[str, ast.expr]
+    @classmethod
+    def _builder_findings(
+        cls, module: SourceModule, builders: dict[str, ast.expr]
     ) -> Iterator[Finding]:
         functions = {
             stmt.name: stmt
@@ -230,7 +266,7 @@ class ParityRule(ProjectRule):
             call = _kernel_signature_call(builder)
             if call is None:
                 yield module.finding(
-                    self.code, builder,
+                    cls.code, builder,
                     f"signature builder `{value.id}` for `{kernel}` never "
                     "constructs a KernelSignature",
                 )
@@ -239,7 +275,7 @@ class ParityRule(ProjectRule):
             missing = [f for f in REQUIRED_SIGNATURE_FIELDS if f not in supplied]
             if missing:
                 yield module.finding(
-                    self.code, call,
+                    cls.code, call,
                     f"signature for `{kernel}` is incomplete: missing "
                     f"{', '.join(missing)}",
                 )

@@ -13,6 +13,11 @@ threads genuinely share the state).
 
 Workers must be pure with respect to module state: build results locally,
 return them, and let the parent merge under its own (live) locks.
+
+This is a per-file heuristic: it sees only mutations inside the worker's
+own module.  R011 (``forksafety``) generalises it interprocedurally,
+walking the worker's whole call graph for module-level locks that are
+never re-initialised in the child and for inherited executor state.
 """
 
 from __future__ import annotations

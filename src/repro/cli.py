@@ -17,7 +17,9 @@ Commands
 ``score``        model-vs-paper error scorecard across all tables
 ``lint``         repo-aware static analysis (determinism, locking, units,
                  catalog invariants, model parity, telemetry discipline,
-                 exception hygiene)
+                 exception hygiene, whole-program concurrency: lock
+                 order, blocking-under-lock, fork safety) on an
+                 incremental, process-parallel engine
 ``stats``        regenerate one table/figure with telemetry enabled and
                  print the span tree, counters and timings
 ``faults``       resilience smoke test: run a sweep under an injected
@@ -157,7 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
     p.add_argument("--procs", type=int, default=None, help=procs_help)
 
-    p = sub.add_parser("lint", help="repo-aware static analysis (R001-R006)")
+    p = sub.add_parser("lint", help=_lint_help())
     p.add_argument(
         "paths",
         nargs="*",
@@ -178,6 +180,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p.add_argument(
+        "--stats",
+        dest="lint_stats",
+        action="store_true",
+        help="print cache effectiveness and per-rule timings to stderr",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental lint cache",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="lint cache file (default: .repro-lint-cache.json in the root)",
+    )
+    p.add_argument(
+        "--jobs",
+        dest="lint_jobs",
+        type=int,
+        default=None,
+        help="worker processes for changed files (default: serial)",
     )
 
     return parser
@@ -520,10 +546,22 @@ def _cmd_score(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_help() -> str:
+    """Derived from the registry so the range can never go stale."""
+    from repro.analysis.registry import registered_codes
+
+    codes = registered_codes()
+    span = f"{codes[0]}-{codes[-1]}" if len(codes) > 1 else codes[0]
+    return f"repo-aware static analysis ({span})"
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.analysis import run_analysis
+    from repro.analysis.core import CACHE_FILENAME
     from repro.analysis.registry import all_rules, rules_for
-    from repro.analysis.reporting import render_json, render_text
+    from repro.analysis.reporting import render_json, render_stats, render_text
 
     if args.list_rules:
         for rule in all_rules():
@@ -538,9 +576,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         except KeyError as exc:
             print(f"repro: error: {exc.args[0]}", file=sys.stderr)
             return 2
-    report = run_analysis(args.paths, rules, root=".")
+    if args.no_cache:
+        cache_path = None
+    else:
+        cache_path = Path(args.cache) if args.cache else Path(".") / CACHE_FILENAME
+    report = run_analysis(
+        args.paths, rules, root=".", cache_path=cache_path, jobs=args.lint_jobs
+    )
     render = render_json if args.fmt == "json" else render_text
     sys.stdout.write(render(report))
+    if args.lint_stats:
+        sys.stderr.write(render_stats(report))
     return report.exit_code
 
 

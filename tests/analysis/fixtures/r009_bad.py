@@ -1,0 +1,42 @@
+"""Known-bad fixture for R009: lock-order inversions (4 findings).
+
+Two inverted pairs: journal/cache taken in both orders directly, and
+stats/cache inverted through an interprocedural path (``flush`` calls
+``_fold`` while holding the stats lock).
+"""
+
+import threading
+
+_journal_lock = threading.Lock()
+_cache_lock = threading.Lock()
+_stats_lock = threading.RLock()
+
+_entries = []
+
+
+def record(entry):
+    with _journal_lock:
+        with _cache_lock:
+            _entries.append(entry)
+
+
+def evict(n):
+    with _cache_lock:
+        with _journal_lock:
+            del _entries[:n]
+
+
+def _fold():
+    with _cache_lock:
+        return len(_entries)
+
+
+def flush():
+    with _stats_lock:
+        return _fold()
+
+
+def tally():
+    with _cache_lock:
+        with _stats_lock:
+            return len(_entries)

@@ -1,0 +1,37 @@
+"""Known-good fixture for R009: one global lock order, everywhere.
+
+Every path that needs both locks takes the journal lock first, then the
+cache lock -- including the interprocedural path through ``_fold``,
+which is only ever called with no locks held.
+"""
+
+import threading
+
+_journal_lock = threading.Lock()
+_cache_lock = threading.Lock()
+
+_entries = []
+
+
+def record(entry):
+    with _journal_lock:
+        with _cache_lock:
+            _entries.append(entry)
+
+
+def evict(n):
+    with _journal_lock:
+        with _cache_lock:
+            del _entries[:n]
+
+
+def _fold():
+    with _cache_lock:
+        return len(_entries)
+
+
+def flush():
+    total = _fold()
+    with _journal_lock:
+        with _cache_lock:
+            return total + len(_entries)

@@ -1,0 +1,37 @@
+"""Known-bad fixture for R010: blocking under a held lock (4 findings).
+
+Three direct blocking operations under the state lock (event wait,
+sleep, future result) and one reached through a call (``_drain``
+sleeps).
+"""
+
+import threading
+import time
+
+_state_lock = threading.Lock()
+_done = threading.Event()
+
+
+def wait_for_peer():
+    with _state_lock:
+        _done.wait()
+
+
+def backoff():
+    with _state_lock:
+        time.sleep(0.05)
+
+
+def harvest(job):
+    with _state_lock:
+        return job.result()
+
+
+def _drain(items):
+    time.sleep(0.01)
+    return list(items)
+
+
+def flush(items):
+    with _state_lock:
+        return _drain(items)

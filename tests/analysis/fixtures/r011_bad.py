@@ -1,0 +1,36 @@
+"""Known-bad fixture for R011: fork-unsafe workers (4 findings).
+
+``merge_shard`` acquires one module-level lock directly and reaches a
+second through ``_fill`` without re-initialising either;
+``requeue_worker`` touches the parent's module-level executor from the
+forked child; ``collect_worker`` reaches the trace lock through a call.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_trace_lock = threading.Lock()
+_merge_lock = threading.Lock()
+_POOL = ProcessPoolExecutor(max_workers=2)
+
+
+def _fill(key):
+    with _trace_lock:
+        return key
+
+
+def merge_shard(items):
+    out = []
+    for item in items:
+        with _merge_lock:
+            out.append(item)
+        _fill(item)
+    return out
+
+
+def requeue_worker(chunk):
+    return _POOL.submit(len, chunk)
+
+
+def collect_worker(keys):
+    return [_fill(k) for k in keys]

@@ -1,0 +1,38 @@
+"""Known-good fixture for R011: the fork re-init pattern.
+
+Workers rebind every module-level lock their call graph touches to a
+fresh Lock before doing anything else (the ``_reinit_forked_locks``
+pattern from ``repro.core.sweep``); parent-side helpers may use the
+module locks freely because they never run in a forked child.
+"""
+
+import threading
+
+_trace_lock = threading.Lock()
+_merge_lock = threading.Lock()
+
+
+def _reinit_forked_locks():
+    global _trace_lock, _merge_lock
+    _trace_lock = threading.Lock()
+    _merge_lock = threading.Lock()
+
+
+def _fill(key):
+    with _trace_lock:
+        return key
+
+
+def merge_shard(items):
+    _reinit_forked_locks()
+    out = []
+    for item in items:
+        with _merge_lock:
+            out.append(item)
+        _fill(item)
+    return out
+
+
+def parent_collect(keys):
+    with _merge_lock:
+        return list(keys)

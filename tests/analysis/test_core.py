@@ -6,11 +6,12 @@ from repro.analysis.core import (
     PARSE_ERROR_CODE,
     AnalysisReport,
     Finding,
+    Rule,
     SourceModule,
     iter_python_files,
     run_analysis,
 )
-from repro.analysis.registry import all_rules, get_rule, rules_for
+from repro.analysis.registry import all_rules, get_rule, register, rules_for
 
 
 class TestFinding:
@@ -63,6 +64,47 @@ class TestSuppression:
         assert not m.is_suppressed("R001", 1)
 
 
+class TestNoqaSpan:
+    """A pragma anywhere on a multi-line statement covers the whole span."""
+
+    def _module(self, text):
+        return SourceModule("fixture.py", text)
+
+    def test_pragma_on_last_line_covers_first(self):
+        m = self._module("x = compute(\n    1,\n    2,\n)  # repro: noqa[R001]\n")
+        for line in (1, 2, 3, 4):
+            assert m.is_suppressed("R001", line)
+        assert not m.is_suppressed("R002", 1)
+
+    def test_pragma_on_first_line_covers_last(self):
+        m = self._module("x = compute(  # repro: noqa\n    1,\n)\n")
+        assert m.is_suppressed("R001", 3)
+        assert m.is_suppressed("R004", 3)
+
+    def test_codes_union_across_the_span(self):
+        m = self._module(
+            "x = f(  # repro: noqa[R001]\n    g(),  # repro: noqa[R003]\n)\n"
+        )
+        assert m.is_suppressed("R001", 2)
+        assert m.is_suppressed("R003", 1)
+        assert not m.is_suppressed("R002", 1)
+
+    def test_bare_pragma_dominates_coded_one(self):
+        m = self._module("x = f(  # repro: noqa\n    g(),  # repro: noqa[R003]\n)\n")
+        assert m.is_suppressed("R002", 2)
+
+    def test_compound_statement_header_does_not_leak_into_body(self):
+        m = self._module("if flag:  # repro: noqa[R001]\n    x = 1\n")
+        assert m.is_suppressed("R001", 1)
+        assert not m.is_suppressed("R001", 2)
+
+    def test_unparseable_source_keeps_line_local_pragmas(self):
+        m = self._module("x = 1  # repro: noqa[R001]\ndef f(:\n")
+        assert m.tree is None
+        assert m.is_suppressed("R001", 1)
+        assert not m.is_suppressed("R001", 2)
+
+
 class TestParseErrors:
     def test_syntax_error_yields_e001(self, tmp_path):
         bad = tmp_path / "broken.py"
@@ -89,6 +131,18 @@ class TestFileDiscovery:
     def test_non_python_file_ignored(self, tmp_path):
         (tmp_path / "notes.txt").write_text("hello\n")
         assert iter_python_files([tmp_path / "notes.txt"]) == []
+
+    def test_same_path_given_twice_yields_one_entry(self, tmp_path):
+        f = tmp_path / "once.py"
+        f.write_text("x = 1\n")
+        assert [p.name for p in iter_python_files([f, f, tmp_path])] == ["once.py"]
+
+    def test_skips_vcs_and_venv_dirs(self, tmp_path):
+        for skipped in (".git", ".venv", "build"):
+            (tmp_path / skipped).mkdir()
+            (tmp_path / skipped / "hidden.py").write_text("x = 1\n")
+        (tmp_path / "kept.py").write_text("x = 1\n")
+        assert [p.name for p in iter_python_files([tmp_path])] == ["kept.py"]
 
 
 class TestReport:
@@ -142,3 +196,28 @@ class TestRegistry:
 
     def test_rules_for_none_is_all(self):
         assert [r.code for r in rules_for(None)] == [r.code for r in all_rules()]
+
+    def test_rules_for_rejects_unknown_selection(self):
+        with pytest.raises(KeyError, match="unknown rule 'R999'"):
+            rules_for(["R001", "R999"])
+
+    def test_duplicate_code_rejected(self):
+        all_rules()  # make sure the built-ins are registered first
+
+        class Shadow(Rule):
+            code = "R001"
+            name = "shadow"
+
+        with pytest.raises(ValueError, match="duplicate rule code"):
+            register(Shadow)
+
+    def test_missing_code_rejected(self):
+        class Nameless(Rule):
+            name = "nameless"
+
+        with pytest.raises(ValueError, match="has no rule code"):
+            register(Nameless)
+
+    def test_reregistering_the_same_class_is_idempotent(self):
+        cls = type(get_rule("R001"))
+        assert register(cls) is cls

@@ -20,6 +20,9 @@ CASES = [
     ("R006", 4),
     ("R007", 4),
     ("R008", 4),
+    ("R009", 4),
+    ("R010", 4),
+    ("R011", 4),
 ]
 
 
@@ -275,6 +278,226 @@ class TestTelemetrySpecifics:
             "    return t.elapsed_s\n"
         )
         assert _count(f, "R006") == 0
+
+
+class TestLockOrderSpecifics:
+    def test_consistent_order_project_wide_is_clean(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "_a = threading.Lock()\n"
+            "_b = threading.Lock()\n"
+            "def one():\n"
+            "    with _a:\n"
+            "        with _b:\n"
+            "            pass\n"
+            "def two():\n"
+            "    with _a:\n"
+            "        with _b:\n"
+            "            pass\n"
+        )
+        assert _count(f, "R009") == 0
+
+    def test_inversion_across_files(self, tmp_path):
+        (tmp_path / "locks.py").write_text(
+            "import threading\n"
+            "_a = threading.Lock()\n"
+            "_b = threading.Lock()\n"
+            "def forward():\n"
+            "    with _a:\n"
+            "        with _b:\n"
+            "            pass\n"
+        )
+        (tmp_path / "other.py").write_text(
+            "from locks import _a, _b, forward\n"
+            "def backward():\n"
+            "    with _b:\n"
+            "        with _a:\n"
+            "            pass\n"
+        )
+        report = run_analysis([tmp_path], rules_for(["R009"]), root=tmp_path)
+        assert len(report.findings) == 2
+        assert {f.path for f in report.findings} == {"locks.py", "other.py"}
+
+    def test_self_deadlock_on_plain_lock(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "_a = threading.Lock()\n"
+            "def nest():\n"
+            "    with _a:\n"
+            "        with _a:\n"
+            "            pass\n"
+        )
+        report = _run_path(f, "R009")
+        assert len(report.findings) == 1
+        assert "self-deadlock" in report.findings[0].message
+
+    def test_rlock_reentry_is_legal(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "_a = threading.RLock()\n"
+            "def nest():\n"
+            "    with _a:\n"
+            "        with _a:\n"
+            "            pass\n"
+        )
+        assert _count(f, "R009") == 0
+
+    def test_acquire_release_pairs_tracked(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "_a = threading.Lock()\n"
+            "_b = threading.Lock()\n"
+            "def one():\n"
+            "    _a.acquire()\n"
+            "    with _b:\n"
+            "        pass\n"
+            "    _a.release()\n"
+            "def two():\n"
+            "    with _b:\n"
+            "        with _a:\n"
+            "            pass\n"
+        )
+        assert _count(f, "R009") == 2
+
+    def test_release_ends_held_region(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "_a = threading.Lock()\n"
+            "_b = threading.Lock()\n"
+            "def one():\n"
+            "    _a.acquire()\n"
+            "    _a.release()\n"
+            "    with _b:\n"
+            "        pass\n"
+            "def two():\n"
+            "    with _b:\n"
+            "        with _a:\n"
+            "            pass\n"
+        )
+        assert _count(f, "R009") == 0
+
+
+class TestBlockingSpecifics:
+    def test_wait_outside_lock_is_clean(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "_l = threading.Lock()\n"
+            "_e = threading.Event()\n"
+            "def f():\n"
+            "    with _l:\n"
+            "        pass\n"
+            "    _e.wait()\n"
+        )
+        assert _count(f, "R010") == 0
+
+    def test_file_io_under_lock_hot_module_flagged(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        f = pkg / "hotpath.py"
+        f.write_text(
+            "import threading\n"
+            "_l = threading.Lock()\n"
+            "def f(path):\n"
+            "    with _l:\n"
+            "        return path.read_text()\n"
+        )
+        report = run_analysis([f], rules_for(["R010"]), root=tmp_path)
+        assert len(report.findings) == 1
+        assert ".read_text()" in report.findings[0].message
+
+    def test_file_io_under_lock_cold_module_allowed(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "faults"
+        pkg.mkdir(parents=True)
+        f = pkg / "journal.py"
+        f.write_text(
+            "import threading\n"
+            "_l = threading.Lock()\n"
+            "def f(path):\n"
+            "    with _l:\n"
+            "        return path.read_text()\n"
+        )
+        report = run_analysis([f], rules_for(["R010"]), root=tmp_path)
+        assert report.findings == []
+
+    def test_sleep_alias_resolved(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "from time import sleep\n"
+            "_l = threading.Lock()\n"
+            "def f():\n"
+            "    with _l:\n"
+            "        sleep(1)\n"
+        )
+        assert _count(f, "R010") == 1
+
+
+class TestForkSafetySpecifics:
+    def test_submitted_function_is_a_worker(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_l = threading.Lock()\n"
+            "def job(x):\n"
+            "    with _l:\n"
+            "        return x\n"
+            "def run(items):\n"
+            "    pool = ProcessPoolExecutor(2)\n"
+            "    return [pool.submit(job, i) for i in items]\n"
+        )
+        report = _run_path(f, "R011")
+        assert len(report.findings) == 1
+        assert "`job`" in report.findings[0].message
+
+    def test_thread_pool_submit_is_not_a_worker(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "_l = threading.Lock()\n"
+            "def job(x):\n"
+            "    with _l:\n"
+            "        return x\n"
+            "def run(items):\n"
+            "    pool = ThreadPoolExecutor(2)\n"
+            "    return [pool.submit(job, i) for i in items]\n"
+        )
+        assert _count(f, "R011") == 0
+
+    def test_instance_locks_exempt(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def merge_shard(self, items):\n"
+            "        with self._lock:\n"
+            "            return list(items)\n"
+        )
+        assert _count(f, "R011") == 0
+
+    def test_reinit_in_callee_covers_worker(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import threading\n"
+            "_l = threading.Lock()\n"
+            "def _reinit():\n"
+            "    global _l\n"
+            "    _l = threading.Lock()\n"
+            "def merge_shard(items):\n"
+            "    _reinit()\n"
+            "    with _l:\n"
+            "        return list(items)\n"
+        )
+        assert _count(f, "R011") == 0
 
 
 def _count(path, code):

@@ -47,3 +47,57 @@ class TestLintCommand:
     def test_bad_format_rejected(self):
         with pytest.raises(SystemExit):
             main(["lint", "--format", "yaml"])
+
+
+class TestLintCache:
+    """CLI wiring for the incremental engine: cache flags, --jobs, --stats."""
+
+    def _project(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "m.py").write_text("import time\nt = time.time()\n")
+        return tmp_path
+
+    def test_cache_written_in_cwd_by_default(self, tmp_path, monkeypatch, capsys):
+        root = self._project(tmp_path, monkeypatch)
+        assert main(["lint", "."]) == 1
+        assert (root / ".repro-lint-cache.json").exists()
+
+    def test_no_cache_writes_nothing(self, tmp_path, monkeypatch, capsys):
+        root = self._project(tmp_path, monkeypatch)
+        main(["lint", "--no-cache", "."])
+        assert not (root / ".repro-lint-cache.json").exists()
+
+    def test_cache_flag_overrides_location(self, tmp_path, monkeypatch, capsys):
+        root = self._project(tmp_path, monkeypatch)
+        main(["lint", "--cache", "elsewhere.json", "."])
+        assert (root / "elsewhere.json").exists()
+        assert not (root / ".repro-lint-cache.json").exists()
+
+    def test_stats_on_stderr_keeps_json_stdout_clean(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._project(tmp_path, monkeypatch)
+        main(["lint", "--stats", "--format", "json", "."])
+        cap = capsys.readouterr()
+        doc = json.loads(cap.out)  # would raise if stats leaked into stdout
+        assert doc["version"] == 1
+        assert "stats:" in cap.err
+        main(["lint", "--stats", "--format", "json", "."])
+        assert "(1 cached, 0 analyzed)" in capsys.readouterr().err
+
+    def test_jobs_output_matches_serial(self, tmp_path, monkeypatch, capsys):
+        self._project(tmp_path, monkeypatch)
+        main(["lint", "--no-cache", "--format", "json", "."])
+        serial = capsys.readouterr().out
+        main(["lint", "--no-cache", "--jobs", "2", "--format", "json", "."])
+        assert capsys.readouterr().out == serial
+
+
+class TestLintHelp:
+    def test_rule_span_derived_from_registry(self, capsys):
+        from repro.analysis.registry import registered_codes
+        from repro.cli import _lint_help
+
+        codes = registered_codes()
+        assert f"{codes[0]}-{codes[-1]}" in _lint_help()
+        assert "R011" in _lint_help()  # this PR's newest rule is covered
