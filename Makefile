@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-cold test faults bench bench-full bench-grid stats
+.PHONY: lint lint-cold test test-service faults bench bench-full bench-grid stats serve
 
 # Repo-aware static analysis on the incremental engine (unchanged files
 # replay from .repro-lint-cache.json), then ruff/mypy when installed.
@@ -30,6 +30,17 @@ test: lint
 # fault-free run (exit 1 on any divergence).
 faults:
 	$(PYTHON) -m repro faults
+
+# End-to-end service suite alone: live HTTP server on an ephemeral port,
+# concurrency drills, lifecycle property tests, campaign crash-resume.
+test-service:
+	$(PYTHON) -m pytest tests/service -q
+
+# Long-running prediction service (HOST/PORT overridable).
+HOST ?= 127.0.0.1
+PORT ?= 8044
+serve:
+	$(PYTHON) -m repro serve --host $(HOST) --port $(PORT)
 
 # Telemetry summary for one artifact (override with ARTIFACT=figure5 etc.).
 ARTIFACT ?= table6

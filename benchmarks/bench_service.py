@@ -1,0 +1,127 @@
+"""Service latency: warm duplicate submissions over real HTTP.
+
+Measures what a client of ``repro serve`` actually feels: the full
+urllib round trip (connect, request, JSON, response) against a live
+``ThreadingHTTPServer`` for the steady-state path -- re-submitting work
+the service has already executed.  Warm duplicates must be absorbed by
+the manager's dedup + the engine's memo: the floor asserts the engine
+executed the grid exactly once no matter how many times the client
+asked, which is the service's whole performance contract.
+
+Reported per run (into the schema-v1 bench artifact): warm submit p50
+and p95 latency, warm artifact-fetch p50/p95, and the dedup hit rate
+over the warm phase.
+"""
+
+import json
+import threading
+import urllib.request
+
+from repro import obs
+from repro.core.sweep import SweepEngine
+from repro.service import JobManager, create_server
+
+
+def http_get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, response.read()
+
+
+def http_get_json(url):
+    status, body = http_get(url)
+    return status, json.loads(body)
+
+
+def http_post_json(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+_PAYLOAD = {
+    "kind": "sweep",
+    "machines": ["sg2044"],
+    "kernels": ["ep", "cg"],
+    "threads": [1, 2, 4, 8],
+}
+_WARM_REQUESTS = 50
+
+
+def _percentile(samples_s, q):
+    ordered = sorted(samples_s)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def test_warm_duplicate_latency(benchmark, bench_artifact):
+    recorder = obs.install()
+    manager = JobManager(engine=SweepEngine(jobs=2), workers=2, queue_size=32)
+    server = create_server("127.0.0.1", 0, manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_port}"
+    try:
+        # Cold phase: one real execution, to completion.
+        status, body = http_post_json(base + "/api/v1/jobs", _PAYLOAD)
+        assert status == 202 and not body["deduplicated"]
+        job_id = body["job_id"]
+        status, doc = http_get_json(f"{base}/api/v1/jobs/{job_id}?wait=60")
+        assert status == 200 and doc["state"] == "done"
+
+        # Warm phase: every submission is a duplicate of finished work.
+        submit_s, fetch_s = [], []
+        for _ in range(_WARM_REQUESTS):
+            with obs.host_timer("bench.service.warm_submit") as timer:
+                status, body = http_post_json(base + "/api/v1/jobs", _PAYLOAD)
+            assert status == 202 and body["deduplicated"]
+            assert body["job_id"] == job_id
+            submit_s.append(timer.elapsed_s)
+            with obs.host_timer("bench.service.warm_artifact") as timer:
+                status, artifact = http_get(f"{base}/api/v1/jobs/{job_id}/artifact")
+            assert status == 200 and artifact
+            fetch_s.append(timer.elapsed_s)
+
+        # pytest-benchmark's headline number: one warm submit round trip.
+        def warm_submit():
+            status, body = http_post_json(base + "/api/v1/jobs", _PAYLOAD)
+            assert status == 202 and body["deduplicated"]
+
+        benchmark(warm_submit)
+
+        counters = recorder.counters_snapshot()
+        submitted = counters["service.submitted"]
+        dedup_rate = counters["service.dedup_attached"] / submitted
+
+        # The floor: warm duplicates are served without re-execution.
+        # One execution total -- the cold one -- regardless of traffic.
+        assert counters["service.executions"] == 1
+        assert dedup_rate >= (submitted - 1) / submitted - 1e-9
+
+        submit_p50 = _percentile(submit_s, 0.50)
+        submit_p95 = _percentile(submit_s, 0.95)
+        fetch_p50 = _percentile(fetch_s, 0.50)
+        fetch_p95 = _percentile(fetch_s, 0.95)
+        benchmark.extra_info["submit_p50_ms"] = round(submit_p50 * 1e3, 3)
+        benchmark.extra_info["submit_p95_ms"] = round(submit_p95 * 1e3, 3)
+        benchmark.extra_info["dedup_hit_rate"] = round(dedup_rate, 4)
+        bench_artifact(
+            "service.warm_duplicate_http",
+            warm_requests=_WARM_REQUESTS,
+            submit_p50_s=submit_p50,
+            submit_p95_s=submit_p95,
+            artifact_p50_s=fetch_p50,
+            artifact_p95_s=fetch_p95,
+            dedup_hit_rate=dedup_rate,
+            executions=counters["service.executions"],
+            configs_executed=counters["sweep.configs_executed"],
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown()
+        thread.join(timeout=5)
+        obs.disable()

@@ -25,6 +25,12 @@ Commands
 ``faults``       resilience smoke test: run a sweep under an injected
                  fault plan and verify it converges to the fault-free
                  answer bit for bit
+``serve``        long-running prediction service: HTTP API + job manager
+                 over the shared sweep engine (submit, poll, artifacts,
+                 cancel, /health, /stats)
+``campaign``     fan a YAML scenario file out into sweep jobs and collect
+                 artifacts (``run``), or cost-estimate it (``plan``);
+                 interrupted runs resume from journal sidecars
 """
 
 from __future__ import annotations
@@ -158,6 +164,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
     p.add_argument("--procs", type=int, default=None, help=procs_help)
+
+    p = sub.add_parser(
+        "serve", help="run the prediction service (HTTP API + job manager)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8044, help="port (0 = ephemeral)")
+    p.add_argument(
+        "--workers", type=int, default=2, help="job-manager worker threads"
+    )
+    p.add_argument(
+        "--queue-size", type=int, default=64, help="bounded job-queue admission limit"
+    )
+    p.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="also write finished artifacts to DIR (atomic)",
+    )
+    p.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="per-job crash-safe journal sidecars in DIR",
+    )
+    _sweep_flags(p)
+
+    p = sub.add_parser(
+        "campaign", help="run or plan a YAML scenario of sweep jobs"
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+    pr = campaign_sub.add_parser("run", help="execute a scenario file")
+    pr.add_argument("scenario", help="scenario YAML path")
+    pr.add_argument(
+        "--out", metavar="DIR", default="campaign-out", help="artifact directory"
+    )
+    _sweep_flags(pr)
+    pp = campaign_sub.add_parser("plan", help="cost-estimate a scenario file")
+    pp.add_argument("scenario", help="scenario YAML path")
 
     p = sub.add_parser("lint", help=_lint_help())
     p.add_argument(
@@ -491,6 +535,73 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.sweep import default_engine
+    from repro.service import JobManager, create_server
+
+    # The service is long-running and its /stats endpoint reads the live
+    # recorder, so telemetry is on for the whole process lifetime.
+    obs.install()
+    engine = _journal_attach(args.journal) or default_engine()
+    try:
+        manager = JobManager(
+            engine=engine,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            artifact_dir=args.artifact_dir,
+            journal_dir=args.journal_dir,
+        )
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    server = create_server(args.host, args.port, manager)
+    print(
+        f"repro service listening on http://{args.host}:{server.server_port} "
+        f"(workers={args.workers}, queue={args.queue_size})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        manager.shutdown()
+        obs.disable()
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.sweep import default_engine
+    from repro.service import ScenarioError, load_scenario, plan_campaign, run_campaign
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    if args.campaign_command == "plan":
+        rows = plan_campaign(scenario, default_engine())
+        print(f"scenario {scenario.name}: {len(rows)} job(s)")
+        total = 0
+        for row in rows:
+            total += row["configs"]
+            print(
+                f"  {row['name']:<20} {row['kind']:<7} {row['job_id']:<22} "
+                f"{row['configs']:>6} configs / {row['families']:>4} families"
+                f" ({row['cached']} cached)"
+            )
+        print(f"  total: {total} configs")
+        return 0
+    engine = _journal_attach(args.journal) or default_engine()
+    manifest = run_campaign(scenario, args.out, engine=engine)
+    for job in manifest["jobs"]:
+        print(f"wrote {args.out}/{job['artifact']} ({job['configs']} configs)")
+    print(f"wrote {args.out}/MANIFEST.json")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import re
 
@@ -607,6 +718,8 @@ _COMMANDS = {
     "score": _cmd_score,
     "lint": _cmd_lint,
     "faults": _cmd_faults,
+    "serve": _cmd_serve,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -237,7 +237,8 @@ class SweepEngine:
         self._inflight_sweeps: dict[int, tuple[frozenset, threading.Event]] = {}
         self._sweep_seq = 0
         self._lock = threading.Lock()
-        self._journal = None
+        self._journals: list[tuple[SweepJournal, frozenset | None]] = []
+        self._family_hooks: list = []
         self.hits = 0
         self.misses = 0
         self.dnr_configs = 0
@@ -325,7 +326,7 @@ class SweepEngine:
     # Journal (checkpoint/resume)
     # ------------------------------------------------------------------
 
-    def attach_journal(self, journal) -> None:
+    def attach_journal(self, journal, keys=None) -> None:
         """Attach a :class:`repro.faults.SweepJournal` and preload it.
 
         Journaled results enter the memo cache exactly as if this engine
@@ -334,12 +335,22 @@ class SweepEngine:
         flag, so entries written under different settings never match a
         key this engine asks for -- a stale journal is inert, not wrong.
 
+        Several journals may be attached at once (the service layer gives
+        every job its own); each completed family is recorded to all of
+        them.  ``keys`` (an iterable of cache keys) scopes an attachment:
+        only families whose keys intersect it are recorded there, so a
+        per-job journal captures exactly that job's sweep and stays
+        oblivious to whatever else shares the engine.  Preloading is
+        never filtered -- a journal entry is valid cached work wherever
+        it came from.
+
         Leftover per-shard sidecars (``<journal>.shardN``, from a
-        sharded run that died before its merge) are folded into the main
-        journal here and removed.
+        sharded run that died before its merge) are folded into the
+        attached journal here and removed.
         """
+        keyset = None if keys is None else frozenset(keys)
         with self._lock:
-            self._journal = journal
+            self._journals.append((journal, keyset))
             for key, value in journal.results().items():
                 self._results.setdefault(key, value)
         self._absorb_shard_sidecars(journal)
@@ -364,16 +375,70 @@ class SweepEngine:
             except OSError:
                 pass
 
-    def detach_journal(self) -> None:
-        """Stop journaling (already-loaded results stay cached)."""
+    def detach_journal(self, journal=None) -> None:
+        """Detach one journal (or, with no argument, every attached one).
+
+        Already-loaded results stay cached either way.
+        """
         with self._lock:
-            self._journal = None
+            if journal is None:
+                self._journals.clear()
+            else:
+                self._journals = [
+                    (j, keys) for j, keys in self._journals if j is not journal
+                ]
 
     def _journal_record(self, store: dict) -> None:
         with self._lock:
-            journal = self._journal
-        if journal is not None:
-            journal.record(store)
+            journals = list(self._journals)
+        for journal, keys in journals:
+            scoped = (
+                store
+                if keys is None
+                else {k: v for k, v in store.items() if k in keys}
+            )
+            if scoped:
+                journal.record(scoped)
+
+    # ------------------------------------------------------------------
+    # Job hooks (what the service layer's job manager builds on)
+    # ------------------------------------------------------------------
+
+    def completed_count(self, configs: Sequence[ExperimentConfig]) -> int:
+        """How many of these configs already have a memoised outcome.
+
+        A DNR verdict counts as completed -- the grid slot has an answer.
+        The service layer polls this for job progress: ``completed /
+        len(configs)`` moves monotonically from 0 to 1 as families land.
+        """
+        keys = [self.cache_key(c) for c in configs]
+        with self._lock:
+            return sum(1 for key in keys if key in self._results)
+
+    def add_family_hook(self, hook) -> None:
+        """Register ``hook(n_configs, dnr)``, called after each family lands.
+
+        Hooks fire once per completed thread-sweep family -- planned,
+        pooled, serial or process-sharded -- right after its results are
+        stored and journaled, and always *outside* the engine lock, so a
+        hook may freely call back into the engine.  ``dnr`` is True when
+        the family's shared outcome was a DNR verdict.  Hook exceptions
+        propagate like any fatal group failure: the engine never
+        swallows them.
+        """
+        with self._lock:
+            self._family_hooks.append(hook)
+
+    def remove_family_hook(self, hook) -> None:
+        """Unregister a hook added by :meth:`add_family_hook` (idempotent)."""
+        with self._lock:
+            self._family_hooks = [h for h in self._family_hooks if h is not hook]
+
+    def _notify_family(self, n_configs: int, dnr: bool) -> None:
+        with self._lock:
+            hooks = list(self._family_hooks)
+        for hook in hooks:
+            hook(n_configs, dnr)
 
     # ------------------------------------------------------------------
     # Execution
@@ -663,6 +728,7 @@ class SweepEngine:
                     store = {self.cache_key(c): outcome for c in group}
                     self._results.update(store)
                 self._journal_record(store)
+                self._notify_family(len(group), dnr=True)
                 return
             obs.incr("sweep.groups_executed")
             obs.incr("sweep.configs_executed", len(group))
@@ -670,6 +736,7 @@ class SweepEngine:
                 store = dict(zip((self.cache_key(c) for c in group), outcome))
                 self._results.update(store)
             self._journal_record(store)
+            self._notify_family(len(group), dnr=False)
 
     def _execute_groups_sharded(self, groups: list[list[ExperimentConfig]]) -> bool:
         """Fan cold families out across forked worker processes.
@@ -686,9 +753,12 @@ class SweepEngine:
         if not self._runner_is_stock():
             return False
         runner = self.runner
+        # Sidecars are keyed off the first attached journal's path; with
+        # none attached the shards run journal-free (results still merge
+        # through the all-or-nothing commit below).
         with self._lock:
-            journal = self._journal
-        base_path = str(journal.path) if journal is not None else None
+            journals = list(self._journals)
+        base_path = str(journals[0][0].path) if journals else None
         procs = min(self.procs, len(groups))
         # Contiguous block shards (not round-robin): grafting the shard
         # span trees in shard order then reproduces the exact child
@@ -757,6 +827,7 @@ class SweepEngine:
             with self._lock:
                 self._results.update(store)
             self._journal_record(store)
+            self._notify_family(len(group), dnr=isinstance(outcome, DNRError))
         for sidecar in sidecars:
             try:
                 os.unlink(sidecar)
@@ -838,6 +909,7 @@ class SweepEngine:
                     store = {self.cache_key(c): exc for c in group}
                     self._results.update(store)
                 self._journal_record(store)
+                self._notify_family(len(group), dnr=True)
                 return
             obs.incr("sweep.groups_executed")
             obs.incr("sweep.configs_executed", len(group))
@@ -845,6 +917,7 @@ class SweepEngine:
                 store = dict(zip((self.cache_key(c) for c in group), results))
                 self._results.update(store)
             self._journal_record(store)
+            self._notify_family(len(group), dnr=False)
 
     def _run_group_resilient(self, group: list[ExperimentConfig]):
         """One family through the runner, retrying transient failures.

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.core.experiment import ExperimentConfig
-from repro.core.sweep import default_engine, paper_vectorise
+from repro.core.sweep import SweepEngine, default_engine, paper_vectorise
 from repro.machines.catalog import PAPER_HPC_MACHINES, get_machine
 from repro.stream.stream import modelled_bandwidth
 
@@ -114,8 +114,12 @@ def figure_grid(number: int) -> list[ExperimentConfig]:
     return [] if kernel is None else _scaling_grid(kernel)
 
 
-def figure1() -> FigureResult:
-    """STREAM copy bandwidth vs cores: SG2044 scales, SG2042 plateaus."""
+def figure1(engine: SweepEngine | None = None) -> FigureResult:
+    """STREAM copy bandwidth vs cores: SG2044 scales, SG2042 plateaus.
+
+    ``engine`` is accepted for signature uniformity (pure STREAM model,
+    no sweep).
+    """
     fig = FigureResult(
         number=1,
         title="STREAM copy memory bandwidth vs cores",
@@ -134,16 +138,19 @@ def figure1() -> FigureResult:
     return fig
 
 
-def _kernel_scaling_figure(number: int, kernel: str, caption: str) -> FigureResult:
+def _kernel_scaling_figure(
+    number: int, kernel: str, caption: str, engine: SweepEngine | None = None
+) -> FigureResult:
     fig = FigureResult(
         number=number,
         title=caption,
         x_label="threads",
         y_label="Mop/s",
     )
+    engine = engine if engine is not None else default_engine()
     # One flat batch: each machine's sweep is a single vectorised model
     # evaluation, and the sweeps run in parallel across machines.
-    results = iter(default_engine().run_many(_scaling_grid(kernel)))
+    results = iter(engine.run_many(_scaling_grid(kernel)))
     for machine in PAPER_HPC_MACHINES:
         label = get_machine(machine).label
         fig.series[label] = [
@@ -152,37 +159,47 @@ def _kernel_scaling_figure(number: int, kernel: str, caption: str) -> FigureResu
     return fig
 
 
-def figure2() -> FigureResult:
+def figure2(engine: SweepEngine | None = None) -> FigureResult:
     """IS scaling across architectures (class C)."""
-    fig = _kernel_scaling_figure(2, "is", "IS benchmark performance (OpenMP)")
+    fig = _kernel_scaling_figure(
+        2, "is", "IS benchmark performance (OpenMP)", engine=engine
+    )
     fig.notes.append("SG2042 plateaus at 16 threads; SG2044 follows the EPYC's curve")
     return fig
 
 
-def figure3() -> FigureResult:
+def figure3(engine: SweepEngine | None = None) -> FigureResult:
     """MG scaling across architectures (class C)."""
-    fig = _kernel_scaling_figure(3, "mg", "MG benchmark performance (OpenMP)")
+    fig = _kernel_scaling_figure(
+        3, "mg", "MG benchmark performance (OpenMP)", engine=engine
+    )
     fig.notes.append("whole-chip SG2044 is comparable to 26-core Skylake / 32-core TX2")
     return fig
 
 
-def figure4() -> FigureResult:
+def figure4(engine: SweepEngine | None = None) -> FigureResult:
     """EP scaling across architectures (class C)."""
-    fig = _kernel_scaling_figure(4, "ep", "EP benchmark performance (OpenMP)")
+    fig = _kernel_scaling_figure(
+        4, "ep", "EP benchmark performance (OpenMP)", engine=engine
+    )
     fig.notes.append("SG2044 tracks the Skylake core-for-core")
     return fig
 
 
-def figure5() -> FigureResult:
+def figure5(engine: SweepEngine | None = None) -> FigureResult:
     """CG scaling across architectures (class C)."""
-    fig = _kernel_scaling_figure(5, "cg", "CG benchmark performance (OpenMP)")
+    fig = _kernel_scaling_figure(
+        5, "cg", "CG benchmark performance (OpenMP)", engine=engine
+    )
     fig.notes.append("TX2 wins core-for-core; 64-core SG2044 beats 32-core TX2")
     return fig
 
 
-def figure6() -> FigureResult:
+def figure6(engine: SweepEngine | None = None) -> FigureResult:
     """FT scaling across architectures (class C)."""
-    fig = _kernel_scaling_figure(6, "ft", "FT benchmark performance (OpenMP)")
+    fig = _kernel_scaling_figure(
+        6, "ft", "FT benchmark performance (OpenMP)", engine=engine
+    )
     fig.notes.append("SG2044 parallels the SG2042's trajectory, offset upward")
     return fig
 
@@ -199,13 +216,18 @@ FIGURE_BUILDERS = {
 _FIGURE_KERNELS = {2: "is", 3: "mg", 4: "ep", 5: "cg", 6: "ft"}
 
 
-def build_figure(number: int) -> FigureResult:
-    """Regenerate one paper figure by number (1-6)."""
+def build_figure(number: int, engine: SweepEngine | None = None) -> FigureResult:
+    """Regenerate one paper figure by number (1-6).
+
+    ``engine`` routes the builder's sweep through a specific
+    :class:`SweepEngine` (the service passes its job manager's engine);
+    ``None`` keeps the process-wide default.
+    """
     try:
         builder = FIGURE_BUILDERS[number]
     except KeyError:
         raise KeyError(f"the paper has figures 1-6; no figure {number}") from None
     with obs.span(f"figure{number}"):
-        result = builder()
+        result = builder(engine=engine)
     obs.incr("harness.figures_built")
     return result

@@ -156,8 +156,14 @@ def table_grid(number: int) -> list[ExperimentConfig]:
     return [] if builder is None else builder()
 
 
-def table1(n_accesses: int = 60_000) -> TableResult:
-    """NPB memory behaviour on the Xeon 8170 (trace-driven simulation)."""
+def table1(
+    n_accesses: int = 60_000, engine: SweepEngine | None = None
+) -> TableResult:
+    """NPB memory behaviour on the Xeon 8170 (trace-driven simulation).
+
+    ``engine`` is accepted for signature uniformity with the other
+    builders (the trace simulation never touches the sweep engine).
+    """
     profiles = table1_profile(n_accesses=n_accesses)
     rows: list[list[object]] = []
     for kernel in ("is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"):
@@ -181,9 +187,9 @@ def table1(n_accesses: int = 60_000) -> TableResult:
     )
 
 
-def table2() -> TableResult:
+def table2(engine: SweepEngine | None = None) -> TableResult:
     """Single-core RISC-V comparison, class B (incl. the D1's FT DNR)."""
-    engine = default_engine()
+    engine = engine if engine is not None else default_engine()
     engine.run_many(_table2_grid(), on_dnr="none")
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
@@ -210,9 +216,9 @@ def table2() -> TableResult:
     )
 
 
-def table3() -> TableResult:
+def table3(engine: SweepEngine | None = None) -> TableResult:
     """SG2044 vs SG2042, single core, class C."""
-    engine = default_engine()
+    engine = engine if engine is not None else default_engine()
     engine.run_many(_table3_grid())
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
@@ -231,9 +237,9 @@ def table3() -> TableResult:
     )
 
 
-def table4() -> TableResult:
+def table4(engine: SweepEngine | None = None) -> TableResult:
     """SG2044 vs SG2042, 64 cores, class C (the 1.52x-4.91x headline)."""
-    engine = default_engine()
+    engine = engine if engine is not None else default_engine()
     engine.run_many(_table4_grid())
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
@@ -252,7 +258,7 @@ def table4() -> TableResult:
     )
 
 
-def table5() -> TableResult:
+def table5(engine: SweepEngine | None = None) -> TableResult:
     """The CPU overview table (straight from the machine catalog)."""
     rows: list[list[object]] = []
     for machine in all_machines():
@@ -276,9 +282,9 @@ def table5() -> TableResult:
     )
 
 
-def table6() -> TableResult:
+def table6(engine: SweepEngine | None = None) -> TableResult:
     """Pseudo-app relative runtimes vs the SG2044 at 16/26/32/64 cores."""
-    engine = default_engine()
+    engine = engine if engine is not None else default_engine()
     rows: list[list[object]] = []
     machines = ("sg2042", "epyc7742", "skylake8170", "thunderx2")
     engine.run_many(_table6_grid(), on_dnr="none")
@@ -307,8 +313,10 @@ def table6() -> TableResult:
     )
 
 
-def _compiler_table(number: int, n_threads: int, paper_table) -> TableResult:
-    engine = default_engine()
+def _compiler_table(
+    number: int, n_threads: int, paper_table, engine: SweepEngine | None = None
+) -> TableResult:
+    engine = engine if engine is not None else default_engine()
     engine.run_many(_compiler_grid(n_threads), on_dnr="none")
     rows: list[list[object]] = []
     for kernel in paper.KERNELS:
@@ -346,14 +354,14 @@ def _compiler_table(number: int, n_threads: int, paper_table) -> TableResult:
     )
 
 
-def table7() -> TableResult:
+def table7(engine: SweepEngine | None = None) -> TableResult:
     """Compiler versions and vectorisation, single core."""
-    return _compiler_table(7, 1, paper.TABLE7)
+    return _compiler_table(7, 1, paper.TABLE7, engine=engine)
 
 
-def table8() -> TableResult:
+def table8(engine: SweepEngine | None = None) -> TableResult:
     """Compiler versions and vectorisation, all 64 cores."""
-    return _compiler_table(8, 64, paper.TABLE8)
+    return _compiler_table(8, 64, paper.TABLE8, engine=engine)
 
 
 TABLE_BUILDERS = {
@@ -377,13 +385,20 @@ _TABLE_GRIDS = {
 }
 
 
-def build_table(number: int) -> TableResult:
-    """Regenerate one paper table by number (1-8)."""
+def build_table(number: int, engine: SweepEngine | None = None) -> TableResult:
+    """Regenerate one paper table by number (1-8).
+
+    ``engine`` routes every sweep the builder runs through a specific
+    :class:`SweepEngine` instead of the process-wide default -- the
+    service's job manager passes its own engine here so per-job journals
+    and execution counters see the builder's work (and a prefetched grid
+    on that engine makes the builder's per-cell lookups pure cache hits).
+    """
     try:
         builder = TABLE_BUILDERS[number]
     except KeyError:
         raise KeyError(f"the paper has tables 1-8; no table {number}") from None
     with obs.span(f"table{number}"):
-        result = builder()
+        result = builder(engine=engine)
     obs.incr("harness.tables_built")
     return result

@@ -42,6 +42,7 @@ __all__ = [
     "activate",
     "abandon_span",
     "graft_children",
+    "counter_value",
     "host_timer",
 ]
 
@@ -123,6 +124,16 @@ def graft_children(children: list[dict]) -> None:
     identical trees.
     """
     _recorder.graft_children(children)
+
+
+def counter_value(name: str) -> int:
+    """Current value of one counter (0 when absent or telemetry is off).
+
+    The service layer's ``/health``/``/stats`` endpoints and the dedup
+    benchmarks read single counters (``service.executions``,
+    ``sweep.containment_waits``) without snapshotting the whole report.
+    """
+    return _recorder.counters_snapshot().get(name, 0)
 
 
 def host_timer(name: str) -> HostTimer:

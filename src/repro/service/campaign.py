@@ -1,0 +1,203 @@
+"""YAML-driven campaigns: fan a scenario file out into sweep jobs.
+
+A *scenario* is a YAML document naming a list of jobs (the same four
+request kinds the HTTP API accepts)::
+
+    name: sg2044-vs-field
+    jobs:
+      - name: single-core        # file stem and journal identity
+        kind: sweep
+        machines: [sg2042, sg2044]
+        kernels: [is, ep, mg, cg]
+        threads: [1, 2, 4]
+      - name: table6
+        kind: table
+        number: 6
+      - name: whatif-ep
+        kind: whatif
+        kernel: ep
+        threads: 64
+
+:func:`run_campaign` executes the jobs in order through one engine,
+writes each artifact to ``<out>/<name>.csv`` (atomic replace), and
+finishes with a ``MANIFEST.json`` mapping job names to artifacts, job
+IDs and cost estimates.
+
+Crash-safe resume is the point: every sweep-backed job attaches a
+journal sidecar ``<out>/<name>.journal`` scoped to its own cache keys,
+so completed thread-sweep families persist the moment they land.  A
+campaign killed mid-run and restarted with the same scenario and output
+directory preloads those journals, re-executes only the missing
+families, and produces byte-identical artifacts to an uninterrupted
+run (the crash drill in ``tests/service/test_campaign.py`` asserts
+exactly that, with the kill delivered by ``repro.faults`` injection at
+the ``campaign.job`` probe site).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import faults, obs
+from repro.core.sweep import SweepEngine
+from repro.faults import SweepJournal, write_text_atomic
+
+from .requests import (
+    JobRequest,
+    RequestError,
+    estimate,
+    execute_request,
+    parse_request,
+    request_configs,
+    request_job_id,
+)
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioJob",
+    "Scenario",
+    "load_scenario",
+    "plan_campaign",
+    "run_campaign",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+class ScenarioError(ValueError):
+    """A scenario file that cannot be run (parse or validation failure)."""
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    name: str
+    request: JobRequest
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    jobs: tuple[ScenarioJob, ...]
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Parse and validate one scenario YAML file."""
+    import yaml
+
+    path = Path(path)
+    try:
+        data = yaml.safe_load(path.read_text(encoding="utf-8"))
+    except yaml.YAMLError as exc:
+        raise ScenarioError(f"{path}: not valid YAML: {exc}") from None
+    except OSError as exc:
+        raise ScenarioError(f"{path}: {exc}") from None
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{path}: scenario must be a YAML mapping")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ScenarioError(f"{path}: scenario needs a non-empty 'name'")
+    raw_jobs = data.get("jobs")
+    if not isinstance(raw_jobs, list) or not raw_jobs:
+        raise ScenarioError(f"{path}: scenario needs a non-empty 'jobs' list")
+    jobs: list[ScenarioJob] = []
+    seen: set[str] = set()
+    for i, raw in enumerate(raw_jobs):
+        if not isinstance(raw, dict):
+            raise ScenarioError(f"{path}: jobs[{i}] must be a mapping")
+        job_name = raw.get("name")
+        if not isinstance(job_name, str) or not job_name:
+            raise ScenarioError(f"{path}: jobs[{i}] needs a non-empty 'name'")
+        if "/" in job_name or job_name != job_name.strip():
+            raise ScenarioError(
+                f"{path}: jobs[{i}] name {job_name!r} must be a plain file stem"
+            )
+        if job_name in seen:
+            raise ScenarioError(f"{path}: duplicate job name {job_name!r}")
+        seen.add(job_name)
+        payload = {k: v for k, v in raw.items() if k != "name"}
+        try:
+            request = parse_request(payload)
+        except RequestError as exc:
+            raise ScenarioError(f"{path}: jobs[{i}] ({job_name!r}): {exc}") from None
+        jobs.append(ScenarioJob(name=job_name, request=request))
+    return Scenario(name=name, jobs=tuple(jobs))
+
+
+def plan_campaign(scenario: Scenario, engine: SweepEngine | None = None) -> list[dict]:
+    """Cost-estimate every job without executing anything."""
+    engine = engine if engine is not None else SweepEngine()
+    out = []
+    for job in scenario.jobs:
+        cost = estimate(engine, job.request)
+        out.append(
+            {
+                "name": job.name,
+                "job_id": request_job_id(engine, job.request),
+                "kind": job.request.kind,
+                **cost,
+            }
+        )
+    return out
+
+
+def run_campaign(
+    scenario: Scenario,
+    out_dir: str | Path,
+    engine: SweepEngine | None = None,
+) -> dict:
+    """Execute a scenario's jobs in order; returns the manifest dict.
+
+    Jobs run sequentially (parallelism lives *inside* the engine: its
+    thread pool, planner and ``--procs`` sharding), each under a
+    ``campaign.job`` fault-injection probe and -- for sweep-backed kinds
+    -- a per-job journal sidecar.  Artifacts and the manifest go through
+    atomic writes, so an interrupted campaign leaves only complete
+    files plus resumable journals; re-running it is both the resume path
+    and a cheap no-op when everything already landed.
+    """
+    engine = engine if engine is not None else SweepEngine()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest_jobs: list[dict] = []
+    with obs.span("campaign"):
+        for job in scenario.jobs:
+            obs.incr("campaign.jobs")
+            with obs.span(f"campaign[{job.name}]"):
+                faults.inject("campaign.job", job.name, kinds=("transient", "slow"))
+                configs = request_configs(job.request)
+                journal = None
+                journal_path = out / f"{job.name}.journal"
+                if configs:
+                    journal = SweepJournal(journal_path)
+                    resumed = len(journal)
+                    if resumed:
+                        obs.incr("campaign.resumed_entries", resumed)
+                    keys = [engine.cache_key(config) for config in configs]
+                    engine.attach_journal(journal, keys=keys)
+                try:
+                    artifact = execute_request(engine, job.request)
+                finally:
+                    if journal is not None:
+                        engine.detach_journal(journal)
+                artifact_path = out / f"{job.name}.csv"
+                write_text_atomic(artifact_path, artifact)
+                obs.incr("campaign.artifacts_written")
+                cost = estimate(engine, job.request)
+                manifest_jobs.append(
+                    {
+                        "name": job.name,
+                        "artifact": artifact_path.name,
+                        "job_id": request_job_id(engine, job.request),
+                        "kind": job.request.kind,
+                        "configs": cost["configs"],
+                        "families": cost["families"],
+                        "journal": journal_path.name if configs else None,
+                    }
+                )
+    manifest = {"scenario": scenario.name, "jobs": manifest_jobs}
+    write_text_atomic(
+        out / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return manifest

@@ -1,0 +1,183 @@
+"""JobManager units: dedup, bounded admission, lifecycle, journals.
+
+Everything here runs with ``workers=0`` and drives execution through
+:meth:`JobManager.run_next`, so the tests are single-threaded and every
+assertion about states and counters is exact.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.sweep import SweepEngine
+from repro.faults import SweepJournal
+from repro.service import (
+    IllegalTransition,
+    JobManager,
+    JobState,
+    QueueFull,
+    parse_request,
+    request_configs,
+)
+
+SWEEP = {"kind": "sweep", "machines": ["sg2044"], "kernels": ["ep"], "threads": [1, 2]}
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return JobManager(
+        engine=SweepEngine(jobs=1),
+        workers=0,
+        queue_size=4,
+        artifact_dir=tmp_path / "artifacts",
+        journal_dir=tmp_path / "journals",
+    )
+
+
+def test_submit_run_done(manager, tmp_path):
+    job, deduplicated = manager.submit(parse_request(SWEEP))
+    assert not deduplicated
+    assert job.state is JobState.QUEUED
+    ran = manager.run_next()
+    assert ran is job
+    assert job.state is JobState.DONE
+    assert job.artifact.startswith("machine,kernel,")
+    on_disk = (tmp_path / "artifacts" / f"{job.job_id}.csv").read_text()
+    assert on_disk == job.artifact
+    assert manager.artifact(job.job_id) == job.artifact
+    assert manager.run_next() is None  # queue drained
+
+
+def test_duplicate_submission_attaches(manager):
+    job, first = manager.submit(parse_request(SWEEP))
+    again, deduplicated = manager.submit(
+        parse_request({**SWEEP, "threads": [2, 1]})
+    )
+    assert again is job
+    assert deduplicated
+    assert job.submissions == 2
+    manager.run_next()
+    # A duplicate of a DONE job attaches too: the artifact is reusable.
+    final, deduplicated = manager.submit(parse_request(SWEEP))
+    assert final is job and deduplicated
+
+
+def test_queue_bound_rejects(manager):
+    for threads in ([1], [2], [4], [8]):
+        manager.submit(parse_request({**SWEEP, "threads": threads}))
+    with pytest.raises(QueueFull):
+        manager.submit(parse_request({**SWEEP, "threads": [16]}))
+    # Draining one slot readmits.
+    manager.run_next()
+    manager.submit(parse_request({**SWEEP, "threads": [16]}))
+
+
+def test_cancel_queued_is_idempotent(manager):
+    job, _ = manager.submit(parse_request(SWEEP))
+    assert manager.cancel(job.job_id) is True
+    assert job.state is JobState.CANCELLED
+    assert manager.cancel(job.job_id) is True  # idempotent
+    assert job.state is JobState.CANCELLED
+    assert job.done.is_set()
+    # The stale queue entry is consumed and skipped, never executed.
+    assert manager.run_next() is None
+    assert job.state is JobState.CANCELLED
+
+
+def test_cancel_unknown_and_terminal(manager):
+    assert manager.cancel("sweep-doesnotexist") is False
+    job, _ = manager.submit(parse_request(SWEEP))
+    manager.run_next()
+    assert job.state is JobState.DONE
+    assert manager.cancel(job.job_id) is False
+    assert job.state is JobState.DONE
+
+
+def test_resubmit_after_cancel_requeues(manager):
+    job, _ = manager.submit(parse_request(SWEEP))
+    manager.cancel(job.job_id)
+    fresh, deduplicated = manager.submit(parse_request(SWEEP))
+    assert not deduplicated
+    assert fresh is not job
+    assert fresh.job_id == job.job_id  # identity is the work, not the attempt
+    ran = manager.run_next()
+    assert ran is fresh and fresh.state is JobState.DONE
+
+
+def test_failed_job_records_error(manager, monkeypatch):
+    job, _ = manager.submit(parse_request(SWEEP))
+
+    def boom(engine, request):
+        raise RuntimeError("synthetic failure")
+
+    monkeypatch.setattr("repro.service.jobs.execute_request", boom)
+    manager.run_next()
+    assert job.state is JobState.FAILED
+    assert "synthetic failure" in job.error
+    status = manager.status(job.job_id)
+    assert status["state"] == "failed"
+    assert status["error"] == "RuntimeError: synthetic failure"
+
+
+def test_illegal_transition_raises(manager):
+    job, _ = manager.submit(parse_request(SWEEP))
+    manager.cancel(job.job_id)
+    with manager._lock:
+        with pytest.raises(IllegalTransition):
+            manager._transition(job, JobState.RUNNING)
+
+
+def test_status_and_counts(manager):
+    job, _ = manager.submit(parse_request(SWEEP))
+    status = manager.status(job.job_id)
+    assert status["state"] == "queued"
+    assert status["estimate"] == {"configs": 2, "families": 1}
+    assert status["progress"] == {"completed": 0, "total": 2}
+    assert manager.counts()["queued"] == 1
+    manager.run_next()
+    status = manager.status(job.job_id)
+    assert status["state"] == "done"
+    assert status["progress"] == {"completed": 2, "total": 2}
+    assert status["artifact_ready"] is True
+    assert manager.status("sweep-unknown") is None
+
+
+def test_per_job_journal_scoped_to_its_keys(manager, tmp_path):
+    """The job's journal holds exactly the job's families, nothing else."""
+    wide, _ = manager.submit(
+        parse_request({**SWEEP, "kernels": ["ep", "is"], "threads": [1]})
+    )
+    manager.run_next()
+    journal = SweepJournal(tmp_path / "journals" / f"{wide.job_id}.journal")
+    keys = set(journal.results())
+    expected = {manager.engine.cache_key(c) for c in request_configs(wide.request)}
+    assert keys == expected
+
+
+def test_journal_resumes_on_resubmission(tmp_path):
+    """A fresh manager+engine preloads the journal instead of re-executing."""
+    request = parse_request(SWEEP)
+    first = JobManager(
+        engine=SweepEngine(jobs=1), workers=0, journal_dir=tmp_path / "j"
+    )
+    job, _ = first.submit(request)
+    first.run_next()
+    assert job.state is JobState.DONE
+
+    recorder = obs.install()
+    second = JobManager(
+        engine=SweepEngine(jobs=1), workers=0, journal_dir=tmp_path / "j"
+    )
+    resumed, _ = second.submit(request)
+    second.run_next()
+    obs.disable()
+    assert resumed.state is JobState.DONE
+    assert resumed.artifact == job.artifact  # byte-identical from the journal
+    counters = recorder.counters_snapshot()
+    assert counters.get("sweep.configs_executed", 0) == 0  # nothing re-ran
