@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-cold test test-service faults bench bench-full bench-grid stats serve
+.PHONY: lint lint-cold test test-service faults bench bench-full bench-grid bench-store stats serve
 
 # Repo-aware static analysis on the incremental engine (unchanged files
 # replay from .repro-lint-cache.json), then ruff/mypy when installed.
@@ -59,3 +59,9 @@ bench-full:
 # speedup floor over the per-family path (bit-identical results).
 bench-grid:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable -k "planner"
+
+# Store benches: put/get throughput, engine warm restart, and the
+# service kill-and-restart + campaign speedup drills (>= 10x warm,
+# <= 0.5x parallel wall clock, byte-identical artifacts throughout).
+bench-store:
+	$(PYTHON) -m pytest benchmarks/bench_store.py benchmarks/bench_service.py -q --benchmark-disable

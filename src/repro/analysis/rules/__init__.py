@@ -1,4 +1,4 @@
-"""Built-in rules.  Importing this package registers R001-R011."""
+"""Built-in rules.  Importing this package registers R001-R012."""
 
 from __future__ import annotations
 
@@ -12,6 +12,7 @@ from . import (  # noqa: F401
     parity,
     procshard,
     resilience,
+    storeio,
     telemetry,
     units,
 )
@@ -28,4 +29,5 @@ __all__ = [
     "lockorder",
     "blocking",
     "forksafety",
+    "storeio",
 ]

@@ -30,7 +30,14 @@ Commands
                  cancel, /health, /stats)
 ``campaign``     fan a YAML scenario file out into sweep jobs and collect
                  artifacts (``run``), or cost-estimate it (``plan``);
-                 interrupted runs resume from journal sidecars
+                 interrupted runs resume from journal sidecars and the
+                 result store, and independent jobs (no ``needs`` edge)
+                 run concurrently under ``--jobs``
+
+Sweep-backed commands accept ``--store DIR`` (or ``REPRO_STORE``): a
+persistent content-addressed result store that makes every restart
+warm -- results and rendered artifacts land there once and are reused
+bit-identically by any later process.
 """
 
 from __future__ import annotations
@@ -69,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
         "crash-safe sweep journal at PATH: completed families are persisted "
         "and an interrupted run resumed from them"
     )
+    store_help = (
+        "persistent content-addressed result store at DIR: finished "
+        "results and artifacts are published there and every later run "
+        "(any process) starts warm (default: REPRO_STORE)"
+    )
+    store_max_help = (
+        "LRU size cap for --store in MiB: least-recently-used entries "
+        "are evicted once the store exceeds it (default: REPRO_STORE_MAX_MB "
+        "or unbounded)"
+    )
 
     def _sweep_flags(p) -> None:
         p.add_argument("--jobs", type=int, default=None, help=jobs_help)
@@ -77,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fault-seed", type=int, default=None, help=fault_seed_help)
         p.add_argument("--fault-rate", type=float, default=0.1, help=fault_rate_help)
         p.add_argument("--journal", metavar="PATH", default=None, help=journal_help)
+        p.add_argument("--store", metavar="DIR", default=None, help=store_help)
+        p.add_argument(
+            "--store-max-mb", type=int, default=None, help=store_max_help
+        )
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 9))
@@ -164,6 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--jobs", type=int, default=None, help=jobs_help)
     p.add_argument("--procs", type=int, default=None, help=procs_help)
+    p.add_argument("--store", metavar="DIR", default=None, help=store_help)
+    p.add_argument("--store-max-mb", type=int, default=None, help=store_max_help)
 
     p = sub.add_parser(
         "serve", help="run the prediction service (HTTP API + job manager)"
@@ -595,7 +618,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"  total: {total} configs")
         return 0
     engine = _journal_attach(args.journal) or default_engine()
-    manifest = run_campaign(scenario, args.out, engine=engine)
+    manifest = run_campaign(scenario, args.out, engine=engine, jobs=args.jobs)
     for job in manifest["jobs"]:
         print(f"wrote {args.out}/{job['artifact']} ({job['configs']} configs)")
     print(f"wrote {args.out}/MANIFEST.json")
@@ -751,6 +774,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             set_default_retries(retries)
         except ValueError as exc:
             print(f"repro: error: --retries: {exc}", file=sys.stderr)
+            return 2
+    store_dir = getattr(args, "store", None)
+    if store_dir is not None:
+        from repro.core.sweep import set_default_store
+        from repro.store import ResultStore
+
+        cap = getattr(args, "store_max_mb", None)
+        try:
+            set_default_store(
+                ResultStore(
+                    store_dir, max_bytes=None if cap is None else cap * 2**20
+                )
+            )
+        except ValueError as exc:
+            print(f"repro: error: --store: {exc}", file=sys.stderr)
             return 2
     fault_seed = getattr(args, "fault_seed", None)
     plan_installed = False

@@ -51,6 +51,7 @@ __all__ = [
     "set_default_jobs",
     "set_default_retries",
     "set_default_procs",
+    "set_default_store",
     "clear_caches",
     "DEFAULT_RETRIES",
 ]
@@ -183,6 +184,15 @@ class SweepEngine:
         automatically whenever it could not reproduce the per-family
         path bit-for-bit (fault injection enabled, per-group timeouts,
         subclassed runners/models).
+    store:
+        Optional :class:`repro.store.ResultStore` (or a path to one;
+        ``None`` reads ``REPRO_STORE``).  The durable tier under the
+        memo cache: pending keys are preloaded from the store *before*
+        planning, every committed family is published to it, and its
+        O_EXCL lease files extend single-flight across processes -- a
+        key another process is executing is waited on (bounded), then
+        taken over if the owner died.  Store-restored values are
+        bit-identical to computed ones (shared ``repr``-float codec).
 
     Results are memoised per exact (seed, noise, calibration, config)
     tuple; "Did Not Run" configurations cache their :class:`DNRError`
@@ -221,12 +231,14 @@ class SweepEngine:
         journal=None,
         procs: int | None = None,
         planner: bool | None = None,
+        store=None,
     ) -> None:
         self.runner = runner or ExperimentRunner()
         self.jobs = self._resolve_jobs(jobs)
         self.procs = self._resolve_procs(procs)
         self.planner = self._resolve_planner(planner)
         self.retries = self._resolve_retries(retries)
+        self.store = self._resolve_store(store)
         if backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
         self.backoff_s = backoff_s
@@ -236,6 +248,7 @@ class SweepEngine:
         self._inflight: dict[tuple, threading.Event] = {}
         self._inflight_sweeps: dict[int, tuple[frozenset, threading.Event]] = {}
         self._sweep_seq = 0
+        self._held_leases: set[tuple] = set()
         self._lock = threading.Lock()
         self._journals: list[tuple[SweepJournal, frozenset | None]] = []
         self._family_hooks: list = []
@@ -298,6 +311,24 @@ class SweepEngine:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         return retries
+
+    @staticmethod
+    def _resolve_store(store):
+        """Resolve the persistent result store (``REPRO_STORE``, default none).
+
+        Accepts a ready :class:`repro.store.ResultStore`, a directory
+        path, or ``None`` (consult the environment).  Like ``procs``,
+        persistence is a behaviour an operator opts into explicitly.
+        """
+        if store is None:
+            from repro.store import store_from_env
+
+            return store_from_env()
+        if isinstance(store, (str, os.PathLike)):
+            from repro.store import ResultStore
+
+            return ResultStore(store)
+        return store
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -594,28 +625,187 @@ class SweepEngine:
         The whole claimed key-set is also registered as one in-flight
         *sweep* with a single completion event, so later batches whose
         keys it contains can wait on it wholesale (see :meth:`_claim`).
+
+        With a store attached, three things happen around execution, all
+        outside the engine lock (the lock guards tables, never I/O):
+        claimed keys are preloaded from the store before any planning,
+        the remainder is partitioned by lease ownership (keys another
+        process is executing are waited on in :meth:`_resolve_foreign`
+        instead of executed), and held leases are released in the
+        ``finally`` so a failure never wedges other processes.
         """
+        if self.store is not None:
+            pending = self._store_preload(pending)
+            if not pending:
+                return
+        foreign: dict[tuple, ExperimentConfig] = {}
+        if self.store is not None:
+            pending, foreign = self._store_partition(pending)
+        claimed = dict(pending)
+        claimed.update(foreign)
         with self._lock:
             sweep_id = self._sweep_seq
             self._sweep_seq += 1
             sweep_event = threading.Event()
-            self._inflight_sweeps[sweep_id] = (frozenset(pending), sweep_event)
+            self._inflight_sweeps[sweep_id] = (frozenset(claimed), sweep_event)
         try:
-            families: dict[tuple, list[ExperimentConfig]] = {}
-            for config in pending.values():
-                families.setdefault(config.family_key(), []).append(config)
-            self._execute_groups(list(families.values()))
+            if pending:
+                self._execute_families(pending)
+            if foreign:
+                self._resolve_foreign(foreign)
         finally:
-            # Release claims even on failure so waiters re-classify instead
-            # of blocking forever; successful paths have stored results by
-            # the time the events fire.
+            # Leases first (publish already released the successful ones;
+            # this catches failures), then claims -- both so waiters and
+            # other processes re-classify instead of blocking forever;
+            # successful paths have stored results by the time the events
+            # fire.
+            self._release_leases(claimed)
             with self._lock:
-                for key in pending:
+                for key in claimed:
                     event = self._inflight.pop(key, None)
                     if event is not None:
                         event.set()
                 self._inflight_sweeps.pop(sweep_id, None)
                 sweep_event.set()
+
+    def _execute_families(self, pending: dict[tuple, ExperimentConfig]) -> None:
+        """Group claimed configs into thread-sweep families and execute."""
+        families: dict[tuple, list[ExperimentConfig]] = {}
+        for config in pending.values():
+            families.setdefault(config.family_key(), []).append(config)
+        self._execute_groups(list(families.values()))
+
+    # ------------------------------------------------------------------
+    # Persistent store (cross-run cache + cross-process single-flight)
+    # ------------------------------------------------------------------
+
+    def _store_preload(
+        self, pending: dict[tuple, ExperimentConfig]
+    ) -> dict[tuple, ExperimentConfig]:
+        """Absorb store entries for claimed keys; returns what stays cold.
+
+        Runs before planning, so a fully warm restart never touches the
+        model at all.  Absorbed keys release their single-flight claims
+        immediately (their results are in ``_results``).
+        """
+        with obs.span("store.preload"):
+            found = self.store.get_many(list(pending))
+        if not found:
+            return pending
+        with self._lock:
+            self._results.update(found)
+            for key in found:
+                event = self._inflight.pop(key, None)
+                if event is not None:
+                    event.set()
+        return {k: c for k, c in pending.items() if k not in found}
+
+    def _store_partition(
+        self, pending: dict[tuple, ExperimentConfig]
+    ) -> tuple[dict[tuple, ExperimentConfig], dict[tuple, ExperimentConfig]]:
+        """Split cold keys into locally-leased vs foreign-leased sets."""
+        local: dict[tuple, ExperimentConfig] = {}
+        foreign: dict[tuple, ExperimentConfig] = {}
+        for key, config in pending.items():
+            if self.store.try_lease(key):
+                local[key] = config
+            else:
+                foreign[key] = config
+        if local:
+            with self._lock:
+                self._held_leases.update(local)
+        return local, foreign
+
+    def _release_leases(self, keys) -> None:
+        """Release whichever of ``keys`` this engine still holds leases for."""
+        if self.store is None:
+            return
+        with self._lock:
+            held = [key for key in keys if key in self._held_leases]
+            self._held_leases.difference_update(held)
+        for key in held:
+            self.store.release_lease(key)
+
+    def _publish_store(self, items: dict) -> None:
+        """Publish one committed family and release its execution leases.
+
+        Called beside every ``_journal_record`` site, after results are
+        memoised, so the store is a strict subset of what this process
+        would serve from memory -- never ahead of it.
+        """
+        if self.store is None or not items:
+            return
+        with obs.span("store.publish"):
+            self.store.put_many(items)
+        self._release_leases(items)
+
+    def _absorb_published(self, remaining: dict[tuple, ExperimentConfig]) -> None:
+        """Pull any now-published entries for ``remaining`` into the memo."""
+        found = self.store.get_many(list(remaining))
+        if not found:
+            return
+        with self._lock:
+            self._results.update(found)
+        for key in found:
+            remaining.pop(key, None)
+
+    def _resolve_foreign(self, foreign: dict[tuple, ExperimentConfig]) -> None:
+        """Wait (bounded) for keys leased by another process, else take over.
+
+        The owner publishes each family then releases its leases, so the
+        normal outcome is absorbing its entries mid-poll.  A lease that
+        vanished without an entry means the owner failed: take it over
+        immediately.  A lease still present after the full timeout means
+        the owner is wedged: break it, re-claim, and execute -- liveness
+        over economy, and exactness either way (results are pure
+        functions of the key).  The wait is attempt-counted through the
+        engine's injectable ``_sleep``; no wall clock is read.
+        """
+        store = self.store
+        remaining = dict(foreign)
+        obs.incr("store.lease_waits", len(remaining))
+        attempts = max(1, int(store.lease_timeout_s / store.poll_interval_s))
+        for _ in range(attempts):
+            self._absorb_published(remaining)
+            if not remaining:
+                return
+            orphaned = {
+                key: config
+                for key, config in remaining.items()
+                if not store.lease_active(key)
+            }
+            if orphaned:
+                claimed = {
+                    key: config
+                    for key, config in orphaned.items()
+                    if store.try_lease(key)
+                }
+                if claimed:
+                    for key in claimed:
+                        remaining.pop(key)
+                    obs.incr("store.lease_takeovers", len(claimed))
+                    with self._lock:
+                        self._held_leases.update(claimed)
+                    self._execute_families(claimed)
+                if not remaining:
+                    return
+            self._sleep(store.poll_interval_s)
+        self._absorb_published(remaining)
+        if not remaining:
+            return
+        obs.incr("store.lease_timeouts", len(remaining))
+        for key in remaining:
+            store.break_lease(key)
+        claimed = {
+            key: config for key, config in remaining.items() if store.try_lease(key)
+        }
+        if claimed:
+            obs.incr("store.lease_takeovers", len(claimed))
+            with self._lock:
+                self._held_leases.update(claimed)
+        # Execute everything left -- re-leased or not -- so this batch
+        # always completes even if another waiter re-claimed first.
+        self._execute_families(remaining)
 
     def _planner_applicable(self) -> bool:
         """Whether cold batches may route through the flat megagrid pass.
@@ -728,6 +918,7 @@ class SweepEngine:
                     store = {self.cache_key(c): outcome for c in group}
                     self._results.update(store)
                 self._journal_record(store)
+                self._publish_store(store)
                 self._notify_family(len(group), dnr=True)
                 return
             obs.incr("sweep.groups_executed")
@@ -736,6 +927,7 @@ class SweepEngine:
                 store = dict(zip((self.cache_key(c) for c in group), outcome))
                 self._results.update(store)
             self._journal_record(store)
+            self._publish_store(store)
             self._notify_family(len(group), dnr=False)
 
     def _execute_groups_sharded(self, groups: list[list[ExperimentConfig]]) -> bool:
@@ -827,6 +1019,7 @@ class SweepEngine:
             with self._lock:
                 self._results.update(store)
             self._journal_record(store)
+            self._publish_store(store)
             self._notify_family(len(group), dnr=isinstance(outcome, DNRError))
         for sidecar in sidecars:
             try:
@@ -909,6 +1102,7 @@ class SweepEngine:
                     store = {self.cache_key(c): exc for c in group}
                     self._results.update(store)
                 self._journal_record(store)
+                self._publish_store(store)
                 self._notify_family(len(group), dnr=True)
                 return
             obs.incr("sweep.groups_executed")
@@ -917,6 +1111,7 @@ class SweepEngine:
                 store = dict(zip((self.cache_key(c) for c in group), results))
                 self._results.update(store)
             self._journal_record(store)
+            self._publish_store(store)
             self._notify_family(len(group), dnr=False)
 
     def _run_group_resilient(self, group: list[ExperimentConfig]):
@@ -1106,6 +1301,17 @@ def set_default_procs(procs: int | None) -> None:
     """Set worker-process count on the shared engine (the ``--procs`` flag)."""
     engine = default_engine()
     engine.procs = SweepEngine._resolve_procs(procs)
+
+
+def set_default_store(store) -> None:
+    """Attach a persistent result store to the shared engine (``--store``).
+
+    Accepts a :class:`repro.store.ResultStore`, a directory path, or
+    ``None`` to detach (an explicit ``None`` detaches rather than
+    re-reading the environment: the flag wins over ``REPRO_STORE``).
+    """
+    engine = default_engine()
+    engine.store = None if store is None else SweepEngine._resolve_store(store)
 
 
 def clear_caches() -> None:

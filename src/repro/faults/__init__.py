@@ -24,7 +24,7 @@ telemetry counters versus a fault-free run.
 from __future__ import annotations
 
 from .atomic import write_text_atomic
-from .journal import SweepJournal
+from .journal import SweepJournal, decode_value, encode_value
 from .plan import FaultPlan, NullFaultPlan, disable, inject, install, is_enabled, plan
 from .taxonomy import (
     FaultError,
@@ -51,4 +51,6 @@ __all__ = [
     "inject",
     "write_text_atomic",
     "SweepJournal",
+    "encode_value",
+    "decode_value",
 ]

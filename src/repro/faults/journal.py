@@ -31,7 +31,7 @@ from pathlib import Path
 
 from .atomic import write_text_atomic
 
-__all__ = ["SweepJournal"]
+__all__ = ["SweepJournal", "encode_value", "decode_value"]
 
 JOURNAL_VERSION = 1
 
@@ -44,8 +44,13 @@ def _decode_key(text: str) -> tuple:
     return tuple(json.loads(text))
 
 
-def _encode_value(value) -> dict:
-    """Serialise one cached value: a full result or a DNR verdict."""
+def encode_value(value) -> dict:
+    """Serialise one cached value: a full result or a DNR verdict.
+
+    Shared with :mod:`repro.store`: floats pass through JSON via ``repr``
+    (shortest round-trip), so a value restored from disk -- journal or
+    result store alike -- is bit-identical to the freshly computed one.
+    """
     from repro.core.perfmodel import DNRError
 
     if isinstance(value, DNRError):
@@ -80,7 +85,8 @@ def _encode_value(value) -> dict:
     }
 
 
-def _decode_value(payload: dict):
+def decode_value(payload: dict):
+    """Inverse of :func:`encode_value` (raises on malformed payloads)."""
     from repro.core.perfmodel import DNRError, Prediction
     from repro.core.results import ExperimentResult, RunSample
 
@@ -148,7 +154,7 @@ class SweepJournal:
         """
         with self._lock:
             for key, value in items.items():
-                self._entries[_encode_key(key)] = _encode_value(value)
+                self._entries[_encode_key(key)] = encode_value(value)
             snapshot = json.dumps(
                 {"version": JOURNAL_VERSION, "entries": self._entries},
                 sort_keys=True,
@@ -162,7 +168,7 @@ class SweepJournal:
         out = {}
         for key_text, payload in entries.items():
             try:
-                out[_decode_key(key_text)] = _decode_value(payload)
+                out[_decode_key(key_text)] = decode_value(payload)
             except (KeyError, TypeError, ValueError):
                 continue  # one malformed entry must not poison the rest
         return out

@@ -14,7 +14,14 @@ Three layers, each usable on its own:
   :mod:`repro.obs`.
 
 :mod:`repro.service.campaign` fans a YAML scenario file out into jobs
-(``repro campaign run``), with journal-sidecar resume.
+(``repro campaign run``), with journal-sidecar resume, store-backed
+artifact restore and a dependency-aware parallel scheduler (``needs``).
+
+When the engine carries a :class:`repro.store.ResultStore`, the job
+manager also publishes every finished artifact under
+:func:`~repro.service.requests.artifact_store_key` and serves repeat
+submissions straight from the store (QUEUED -> DONE without occupying
+a worker), so a restarted service answers warm immediately.
 """
 
 from .api import ServiceServer, create_server, serve
@@ -30,6 +37,7 @@ from .jobs import TRANSITIONS, IllegalTransition, Job, JobManager, JobState, Que
 from .requests import (
     JobRequest,
     RequestError,
+    artifact_store_key,
     estimate,
     execute_request,
     parse_request,
@@ -55,6 +63,7 @@ __all__ = [
     "QueueFull",
     "JobRequest",
     "RequestError",
+    "artifact_store_key",
     "estimate",
     "execute_request",
     "parse_request",

@@ -155,6 +155,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_health(self) -> None:
         counts = self.manager.counts()
+        store = self.manager.store
         self._send_json(
             200,
             {
@@ -166,6 +167,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "jobs": self.manager.engine.jobs,
                     "procs": self.manager.engine.procs,
                 },
+                "store": store.stats() if store is not None else None,
             },
         )
 
@@ -178,6 +180,9 @@ class _Handler(BaseHTTPRequestHandler):
         """
         report = report_dict(obs.recorder())
         report["service"] = {"jobs": self.manager.counts()}
+        store = self.manager.store
+        if store is not None:
+            report["store"] = store.stats()
         self._send_json(200, report)
 
     def _get_jobs(self) -> None:

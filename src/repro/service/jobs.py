@@ -10,14 +10,24 @@ The service's unit of admission is a :class:`Job` wrapping one
   queueing a second one.  Dedup composes with the sweep engine's
   single-flight/containment machinery: even two *distinct* jobs whose
   grids overlap never execute a shared config twice.
-* **Typed lifecycle.**  ``QUEUED -> RUNNING -> DONE | FAILED`` and
-  ``QUEUED -> CANCELLED``; every transition goes through one guarded
-  method under one lock, and an illegal transition is a programming
-  error (:class:`IllegalTransition`), not a silent state.  Cancelling a
-  QUEUED job is immediate and idempotent; a job already RUNNING is past
-  the point of no return (execution is memoised and crash-safe, so
-  letting it finish is strictly cheaper than tearing it down) and
-  ``cancel`` reports ``False``.
+* **Typed lifecycle.**  ``QUEUED -> RUNNING -> DONE | FAILED``,
+  ``QUEUED -> CANCELLED`` and -- with a result store attached --
+  ``QUEUED -> DONE`` (the artifact was already on disk, so the job never
+  occupies a worker); every transition goes through one guarded method
+  under one lock, and an illegal transition is a programming error
+  (:class:`IllegalTransition`), not a silent state.  Cancelling a QUEUED
+  job is immediate and idempotent -- unless duplicates attached to it, in
+  which case cancel *detaches* one submission and leaves the original
+  submitter's job queued.  A job already RUNNING is past the point of no
+  return (execution is memoised and crash-safe, so letting it finish is
+  strictly cheaper than tearing it down) and ``cancel`` reports
+  ``False``.
+* **Restart warmth.**  With a :class:`repro.store.ResultStore` attached
+  (the engine's by default), every DONE artifact is published under
+  ``("artifact", job_id)`` and every submission checks the store first:
+  a duplicate of work any *previous* process finished transitions
+  straight to DONE with byte-identical cached bytes, without touching
+  the queue or a worker.
 * **Bounded admission.**  At most ``queue_size`` jobs wait; beyond that
   submission raises :class:`QueueFull` (HTTP 429), never unbounded
   memory.
@@ -45,7 +55,14 @@ from repro import obs
 from repro.core.sweep import SweepEngine, default_engine
 from repro.faults import SweepJournal, write_text_atomic
 
-from .requests import JobRequest, estimate, execute_request, request_configs, request_job_id
+from .requests import (
+    JobRequest,
+    artifact_store_key,
+    estimate,
+    execute_request,
+    request_configs,
+    request_job_id,
+)
 
 __all__ = [
     "JobState",
@@ -66,10 +83,14 @@ class JobState(enum.Enum):
 
 
 #: The complete legal transition relation; anything else is a bug.
+#: ``QUEUED -> DONE`` is the store-served short-circuit: the artifact
+#: was already persisted by a previous process, so the job completes at
+#: admission without ever running.
 TRANSITIONS: frozenset[tuple[JobState, JobState]] = frozenset(
     {
         (JobState.QUEUED, JobState.RUNNING),
         (JobState.QUEUED, JobState.CANCELLED),
+        (JobState.QUEUED, JobState.DONE),
         (JobState.RUNNING, JobState.DONE),
         (JobState.RUNNING, JobState.FAILED),
     }
@@ -133,6 +154,10 @@ class JobManager:
         ``<journal_dir>/<job_id>.journal`` scoped to its own cache keys
         for the duration of its run: completed families persist as they
         land, and a resubmitted job preloads them.
+    store:
+        The :class:`repro.store.ResultStore` rendered artifacts are
+        published to (and served DONE-from) -- the executing engine's
+        store when omitted, so one ``--store`` flag warms both layers.
     """
 
     def __init__(
@@ -142,12 +167,14 @@ class JobManager:
         queue_size: int = 64,
         artifact_dir: str | Path | None = None,
         journal_dir: str | Path | None = None,
+        store=None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
         self.engine = engine if engine is not None else default_engine()
+        self.store = store if store is not None else self.engine.store
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self._lock = threading.Lock()
@@ -177,44 +204,82 @@ class JobManager:
     # Submission / dedup
     # ------------------------------------------------------------------
 
+    def _attach_locked(self, job_id: str) -> Job | None:
+        """Dedup-attach to a live (or DONE) job; must hold the lock."""
+        existing = self._jobs.get(job_id)
+        if existing is not None and existing.state not in (
+            JobState.FAILED,
+            JobState.CANCELLED,
+        ):
+            existing.submissions += 1
+            obs.incr("service.dedup_attached")
+            return existing
+        return None
+
+    def _store_artifact(self, job_id: str) -> str | None:
+        """A previously-published artifact for this identity (or None)."""
+        if self.store is None:
+            return None
+        value = self.store.get(artifact_store_key(job_id))
+        return value if isinstance(value, str) else None
+
     def submit(self, request: JobRequest) -> tuple[Job, bool]:
         """Admit a request; returns ``(job, deduplicated)``.
 
         A request whose job already exists in a non-terminal state (or
         finished successfully) attaches to it.  FAILED and CANCELLED
         jobs do not block resubmission: the same ID is re-queued fresh.
-        Raises :class:`QueueFull` when the bounded queue rejects the job.
+        With a store attached, an identity whose artifact is already
+        persisted (by any previous process) is admitted straight to DONE
+        -- cached bytes, no queue slot, no worker.  Raises
+        :class:`QueueFull` when the bounded queue rejects the job.
         """
         job_id = request_job_id(self.engine, request)
         obs.incr("service.submitted")
         with self._lock:
-            existing = self._jobs.get(job_id)
-            if existing is not None and existing.state not in (
-                JobState.FAILED,
-                JobState.CANCELLED,
-            ):
-                existing.submissions += 1
-                obs.incr("service.dedup_attached")
+            existing = self._attach_locked(job_id)
+            if existing is not None:
+                return existing, True
+        # The store read is file I/O: outside the lock, then re-check --
+        # a racing duplicate may have admitted this identity meanwhile.
+        cached = self._store_artifact(job_id)
+        with self._lock:
+            existing = self._attach_locked(job_id)
+            if existing is not None:
                 return existing, True
             self._seq += 1
             job = Job(job_id=job_id, request=request, seq=self._seq)
-            try:
-                self._queue.put_nowait(job_id)
-            except queue.Full:
-                obs.incr("service.rejected")
-                raise QueueFull(
-                    f"job queue full ({self._queue.maxsize} waiting); retry later"
-                ) from None
-            self._jobs[job_id] = job
-            obs.incr("service.queued")
+            if cached is not None:
+                job.artifact = cached
+                self._transition(job, JobState.DONE)
+                self._jobs[job_id] = job
+                obs.incr("service.store_served")
+                obs.incr("service.completed")
+            else:
+                try:
+                    self._queue.put_nowait(job_id)
+                except queue.Full:
+                    obs.incr("service.rejected")
+                    raise QueueFull(
+                        f"job queue full ({self._queue.maxsize} waiting); retry later"
+                    ) from None
+                self._jobs[job_id] = job
+                obs.incr("service.queued")
+        if cached is not None:
+            self._write_artifact_file(job)
+            job.done.set()
         return job, False
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a QUEUED job.  Idempotent: True again if already CANCELLED.
 
         Returns False for RUNNING/DONE/FAILED jobs (too late) and for
-        unknown IDs.  The queue entry is left behind and lazily skipped
-        by whichever worker dequeues it.
+        unknown IDs.  A QUEUED job that duplicates attached to is *not*
+        torn down under them: cancel detaches one submission (True --
+        the caller's interest is gone) and the job stays QUEUED for the
+        remaining submitters.  The queue entry of a genuinely cancelled
+        job is left behind and lazily skipped by whichever worker
+        dequeues it.
         """
         with self._lock:
             job = self._jobs.get(job_id)
@@ -224,6 +289,10 @@ class JobManager:
                 return True
             if job.state is not JobState.QUEUED:
                 return False
+            if job.submissions > 1:
+                job.submissions -= 1
+                obs.incr("service.cancel_detached")
+                return True
             self._transition(job, JobState.CANCELLED)
             obs.incr("service.cancelled")
         job.done.set()
@@ -280,15 +349,23 @@ class JobManager:
         finally:
             if journal is not None:
                 self.engine.detach_journal(journal)
-        if self.artifact_dir is not None:
-            self.artifact_dir.mkdir(parents=True, exist_ok=True)
-            write_text_atomic(self.artifact_dir / f"{job.job_id}.csv", artifact)
+        if self.store is not None:
+            self.store.put(artifact_store_key(job.job_id), artifact)
+            obs.incr("service.artifacts_published")
         with self._lock:
             job.artifact = artifact
             self._transition(job, JobState.DONE)
             obs.incr("service.completed")
+        self._write_artifact_file(job)
         job.done.set()
         return job
+
+    def _write_artifact_file(self, job: Job) -> None:
+        """Mirror a DONE job's artifact into ``artifact_dir`` (when set)."""
+        if self.artifact_dir is None or job.artifact is None:
+            return
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        write_text_atomic(self.artifact_dir / f"{job.job_id}.csv", job.artifact)
 
     def _attach_job_journal(self, job: Job):
         """Attach this job's scoped journal (None when journaling is off)."""

@@ -52,6 +52,7 @@ __all__ = [
     "parse_request",
     "request_configs",
     "request_job_id",
+    "artifact_store_key",
     "estimate",
     "execute_request",
     "KINDS",
@@ -266,6 +267,17 @@ def request_job_id(engine: SweepEngine, request: JobRequest) -> str:
     )
     digest = hashlib.sha256(identity.encode()).hexdigest()[:12]
     return f"{request.kind}-{digest}"
+
+
+def artifact_store_key(job_id: str) -> tuple:
+    """The result-store key for a rendered artifact.
+
+    Keyed by the job ID alone: :func:`request_job_id` already folds in
+    the renderer version, the request spec and every cache key the work
+    resolves to, so a store entry can never serve stale bytes -- any
+    change to settings, grid or renderer mints a new identity.
+    """
+    return ("artifact", job_id)
 
 
 def estimate(engine: SweepEngine, request: JobRequest) -> dict:

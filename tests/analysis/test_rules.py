@@ -23,6 +23,7 @@ CASES = [
     ("R009", 4),
     ("R010", 4),
     ("R011", 4),
+    ("R012", 4),
 ]
 
 

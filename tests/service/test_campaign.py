@@ -22,6 +22,7 @@ from repro.service import (
     plan_campaign,
     run_campaign,
 )
+from repro.store import ResultStore
 
 SCENARIO_YAML = """\
 name: drill
@@ -77,6 +78,27 @@ class TestScenarioValidation:
             ("name: x\njobs:\n  - name: a\n    kind: table\n    number: 99\n", "number"),
             ("name: x\njobs:\n  - name: a\n    kind: nope\n", "kind"),
             ("name: x\njobs:\n  - name: a\n    {{invalid yaml\n", "YAML"),
+            (
+                "name: x\njobs:\n"
+                "  - name: a\n    kind: table\n    number: 6\n    needs: [a]\n",
+                "needs itself",
+            ),
+            (
+                "name: x\njobs:\n"
+                "  - name: a\n    kind: table\n    number: 6\n    needs: [ghost]\n",
+                "unknown job",
+            ),
+            (
+                "name: x\njobs:\n"
+                "  - name: a\n    kind: table\n    number: 6\n    needs: [b]\n"
+                "  - name: b\n    kind: table\n    number: 3\n    needs: [a]\n",
+                "dependency cycle",
+            ),
+            (
+                "name: x\njobs:\n"
+                "  - name: a\n    kind: table\n    number: 6\n    needs: [3]\n",
+                "list of job names",
+            ),
         ],
     )
     def test_rejects(self, tmp_path, text, fragment):
@@ -141,6 +163,117 @@ def test_rerun_is_idempotent_with_fresh_engine(scenario, tmp_path):
     counters = recorder.counters_snapshot()
     assert counters.get("sweep.configs_executed", 0) == 0
     assert counters["campaign.resumed_entries"] > 0
+    assert _artifact_bytes(out_a) == _artifact_bytes(out_b)
+
+
+# ----------------------------------------------------------------------
+# Dependencies and the parallel scheduler
+# ----------------------------------------------------------------------
+
+# 'report' is listed first but needs 'base': scheduling order and
+# manifest order must disagree (topo vs scenario order respectively).
+NEEDS_YAML = """\
+name: deps
+jobs:
+  - name: report
+    kind: table
+    number: 6
+    needs: base
+  - name: base
+    kind: sweep
+    machines: [sg2044]
+    kernels: [ep]
+    threads: [1, 2]
+"""
+
+
+@pytest.fixture
+def needs_scenario(tmp_path):
+    path = tmp_path / "needs.yaml"
+    path.write_text(NEEDS_YAML)
+    return load_scenario(path)
+
+
+def _spy_order(monkeypatch):
+    """Record job execution order while delegating to the real runner."""
+    from repro.service import campaign
+
+    order = []
+    real = campaign._run_campaign_job
+
+    def spy(engine, out, job, handle):
+        order.append(job.name)
+        return real(engine, out, job, handle)
+
+    monkeypatch.setattr(campaign, "_run_campaign_job", spy)
+    return order
+
+
+def test_needs_parses_string_and_deduplicates(needs_scenario):
+    assert needs_scenario.jobs[0].needs == ("base",)  # bare string coerced
+    assert needs_scenario.jobs[1].needs == ()
+
+
+def test_needs_defer_execution_but_not_manifest_order(
+    needs_scenario, tmp_path, monkeypatch
+):
+    order = _spy_order(monkeypatch)
+    manifest = run_campaign(needs_scenario, tmp_path / "out", SweepEngine(jobs=1))
+    assert order == ["base", "report"]  # dependency ran first...
+    names = [job["name"] for job in manifest["jobs"]]
+    assert names == ["report", "base"]  # ...manifest stays scenario order
+
+
+def test_parallel_campaign_matches_sequential(scenario, tmp_path):
+    seq, par = tmp_path / "seq", tmp_path / "par"
+    run_campaign(scenario, seq, SweepEngine(jobs=1))
+    run_campaign(scenario, par, SweepEngine(jobs=1), jobs=3)
+    assert _artifact_bytes(seq) == _artifact_bytes(par)
+
+
+def test_parallel_respects_needs(needs_scenario, tmp_path, monkeypatch):
+    order = _spy_order(monkeypatch)
+    run_campaign(needs_scenario, tmp_path / "out", SweepEngine(jobs=1), jobs=4)
+    assert order.index("base") < order.index("report")
+
+
+def test_parallel_failure_reraises_without_manifest(scenario, tmp_path, monkeypatch):
+    from repro.service import campaign
+
+    real = campaign._run_campaign_job
+
+    def sabotage(engine, out, job, handle):
+        if job.name == "deep":
+            raise RuntimeError("synthetic job failure")
+        return real(engine, out, job, handle)
+
+    monkeypatch.setattr(campaign, "_run_campaign_job", sabotage)
+    out = tmp_path / "out"
+    with pytest.raises(RuntimeError, match="synthetic job failure"):
+        run_campaign(scenario, out, SweepEngine(jobs=1), jobs=3)
+    assert not (out / "MANIFEST.json").exists()
+
+
+def test_jobs_must_be_positive(scenario, tmp_path):
+    with pytest.raises(ValueError, match="jobs"):
+        run_campaign(scenario, tmp_path / "out", SweepEngine(jobs=1), jobs=0)
+
+
+def test_campaign_restores_artifacts_from_store(scenario, tmp_path):
+    """A store-backed rerun restores artifacts without executing jobs."""
+    store = ResultStore(tmp_path / "store")
+    out_a, out_b = tmp_path / "a", tmp_path / "b"
+    run_campaign(scenario, out_a, SweepEngine(jobs=1, store=store))
+
+    recorder = obs.install()
+    try:
+        run_campaign(scenario, out_b, SweepEngine(jobs=1, store=store))
+    finally:
+        obs.disable()
+    counters = recorder.counters_snapshot()
+
+    assert counters["campaign.store_restores"] == len(scenario.jobs)
+    assert counters.get("sweep.configs_executed", 0) == 0
     assert _artifact_bytes(out_a) == _artifact_bytes(out_b)
 
 

@@ -18,6 +18,7 @@ from repro.service import (
     parse_request,
     request_configs,
 )
+from repro.store import ResultStore
 
 SWEEP = {"kind": "sweep", "machines": ["sg2044"], "kernels": ["ep"], "threads": [1, 2]}
 
@@ -97,6 +98,72 @@ def test_cancel_unknown_and_terminal(manager):
     assert job.state is JobState.DONE
     assert manager.cancel(job.job_id) is False
     assert job.state is JobState.DONE
+
+
+def test_cancel_detaches_duplicate_submission(manager):
+    """With >1 submitter attached, cancel detaches one; the job survives."""
+    job, _ = manager.submit(parse_request(SWEEP))
+    manager.submit(parse_request(SWEEP))
+    manager.submit(parse_request({**SWEEP, "threads": [2, 1]}))
+    assert job.submissions == 3
+
+    recorder = obs.install()
+    assert manager.cancel(job.job_id) is True  # detaches, does not cancel
+    obs.disable()
+    assert job.state is JobState.QUEUED
+    assert job.submissions == 2
+    assert recorder.counters_snapshot()["service.cancel_detached"] == 1
+
+    assert manager.cancel(job.job_id) is True  # second detach
+    assert job.state is JobState.QUEUED and job.submissions == 1
+
+    # The remaining submitter still gets its result.
+    ran = manager.run_next()
+    assert ran is job and job.state is JobState.DONE
+
+
+def test_cancel_last_submission_cancels_for_real(manager):
+    job, _ = manager.submit(parse_request(SWEEP))
+    manager.submit(parse_request(SWEEP))
+    manager.cancel(job.job_id)  # detach down to one submitter
+    assert manager.cancel(job.job_id) is True  # sole submitter: real cancel
+    assert job.state is JobState.CANCELLED
+    assert manager.run_next() is None
+
+
+def test_done_from_store_without_worker(tmp_path):
+    """A store-warm submission goes QUEUED -> DONE without a worker."""
+    store = ResultStore(tmp_path / "store")
+    first = JobManager(
+        engine=SweepEngine(jobs=1, store=store),
+        workers=0,
+        artifact_dir=tmp_path / "a1",
+    )
+    job, _ = first.submit(parse_request(SWEEP))
+    first.run_next()
+    assert job.state is JobState.DONE
+
+    recorder = obs.install()
+    second = JobManager(
+        engine=SweepEngine(jobs=1, store=store),
+        workers=0,
+        artifact_dir=tmp_path / "a2",
+    )
+    served, deduplicated = second.submit(parse_request(SWEEP))
+    obs.disable()
+    assert not deduplicated
+    assert served.state is JobState.DONE  # short-circuited at submit
+    assert served.artifact == job.artifact
+    on_disk = (tmp_path / "a2" / f"{served.job_id}.csv").read_text()
+    assert on_disk == job.artifact  # artifact file materialised too
+    assert second.run_next() is None  # never entered the queue
+    counters = recorder.counters_snapshot()
+    assert counters["service.store_served"] == 1
+    assert counters.get("sweep.configs_executed", 0) == 0
+
+    # A duplicate of a store-served job attaches like any DONE job.
+    again, deduplicated = second.submit(parse_request(SWEEP))
+    assert again is served and deduplicated
 
 
 def test_resubmit_after_cancel_requeues(manager):
