@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-cold test test-service faults bench bench-full bench-grid bench-store stats serve
+.PHONY: lint lint-cold test test-service faults bench bench-full bench-grid bench-store bench-record bench-check stats serve
 
 # Repo-aware static analysis on the incremental engine (unchanged files
 # replay from .repro-lint-cache.json), then ruff/mypy when installed.
@@ -65,3 +65,15 @@ bench-grid:
 # <= 0.5x parallel wall clock, byte-identical artifacts throughout).
 bench-store:
 	$(PYTHON) -m pytest benchmarks/bench_store.py benchmarks/bench_service.py -q --benchmark-disable
+
+# Record a full trajectory point: run every suite + the fidelity
+# scorecard, merge into benchmarks/bench_artifact.json, and append the
+# run to benchmarks/history/.
+bench-record:
+	$(PYTHON) -m repro bench
+
+# The post-`make bench` gate: re-run the suites, compare each gated
+# field against the history with noise-aware margins, escalate-until
+# re-measurement, and exit non-zero on any surviving regression.
+bench-check:
+	$(PYTHON) -m repro bench --check

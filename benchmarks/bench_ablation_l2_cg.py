@@ -3,9 +3,17 @@
 from repro.cachesim.sophon import cg_l2_ablation
 
 
-def test_cg_l2_doubling(benchmark):
-    results = benchmark(cg_l2_ablation)
+def test_cg_l2_doubling(benchmark, time_best_of, bench_artifact):
+    generate_s, results = time_best_of(
+        "ablation.l2_cg", lambda: benchmark(cg_l2_ablation), 1
+    )
     assert results[2].fast_fraction > results[1].fast_fraction + 0.1
+    bench_artifact(
+        "ablation_l2_cg.study",
+        generate_s=generate_s,
+        fast_fraction_2mb=results[2].fast_fraction,
+        fast_fraction_1mb=results[1].fast_fraction,
+    )
     print()
     for l2, s in results.items():
         print(

@@ -11,13 +11,21 @@ def _study():
     }
 
 
-def test_upgrade_attribution(benchmark):
-    gains = benchmark(_study)
+def test_upgrade_attribution(benchmark, time_best_of, bench_artifact):
+    generate_s, gains = time_best_of(
+        "ablation.upgrades", lambda: benchmark(_study), 1
+    )
     # The paper's causal story, quantified on the model:
     assert gains[("is", "memory")] > 3.0   # IS's 4.91x is the memory subsystem
     assert gains[("ep", "clock")] > 1.25   # EP's 1.52x is mostly the clock
     assert gains[("ep", "memory")] < 1.05  # ... and not the memory
     assert gains[("mg", "memory")] > 2.0
+    bench_artifact(
+        "ablation_upgrades.study",
+        generate_s=generate_s,
+        is_memory_gain=gains[("is", "memory")],
+        ep_clock_gain=gains[("ep", "clock")],
+    )
     print()
     for (kernel, step), gain in sorted(gains.items()):
         print(f"{kernel.upper():3} +{step:<7} {gain:5.2f}x")

@@ -12,11 +12,17 @@ def _study():
     }
 
 
-def test_affinity_ablation(benchmark):
-    eff = benchmark(_study)
+def test_affinity_ablation(benchmark, time_best_of, bench_artifact):
+    generate_s, eff = time_best_of("affinity.mg", lambda: benchmark(_study), 1)
     # The paper's finding: unset/false is best; master is catastrophic.
     assert eff[None] == eff["false"] == max(eff.values())
     assert eff["master"] == min(eff.values())
+    bench_artifact(
+        "affinity_mg.ablation",
+        generate_s=generate_s,
+        best_efficiency=eff[None],
+        master_efficiency=eff["master"],
+    )
     print()
     for policy, value in eff.items():
         print(f"OMP_PROC_BIND={policy}: {value:.3f}")

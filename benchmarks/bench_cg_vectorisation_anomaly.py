@@ -3,11 +3,19 @@
 from repro.perf.profile import cg_vectorisation_study
 
 
-def test_cg_anomaly_study(benchmark):
-    row = benchmark(cg_vectorisation_study, "sg2044")
+def test_cg_anomaly_study(benchmark, time_best_of, bench_artifact):
+    generate_s, row = time_best_of(
+        "cg_anomaly.study", lambda: benchmark(cg_vectorisation_study, "sg2044"), 1
+    )
     assert 1.8 < row.slowdown < 3.2
     assert abs(row.branch_miss_ratio - 2.0) < 0.3
     assert not any(v.beats_scalar for v in row.unroll_variants)
+    bench_artifact(
+        "cg_vectorisation_anomaly.study",
+        generate_s=generate_s,
+        vec_slowdown=row.slowdown,
+        branch_miss_ratio=row.branch_miss_ratio,
+    )
     print()
     print(
         f"\nvec slowdown {row.slowdown:.2f}x, branch misses "

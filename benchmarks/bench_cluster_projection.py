@@ -10,11 +10,19 @@ def _study():
     }
 
 
-def test_cluster_projection(benchmark):
-    sweeps = benchmark(_study)
+def test_cluster_projection(benchmark, time_best_of, bench_artifact):
+    generate_s, sweeps = time_best_of(
+        "cluster.projection", lambda: benchmark(_study), 1
+    )
     # EP clusters perfectly; FT pays for its transposes but stays useful.
     assert sweeps["ep"][-1].scaling_efficiency > 0.99
     assert 0.5 < sweeps["ft"][-1].scaling_efficiency < 1.0
+    bench_artifact(
+        "cluster_projection.study",
+        generate_s=generate_s,
+        ep_scaling_efficiency=sweeps["ep"][-1].scaling_efficiency,
+        ft_scaling_efficiency=sweeps["ft"][-1].scaling_efficiency,
+    )
     print()
     for kernel, sweep in sweeps.items():
         pts = "  ".join(

@@ -3,8 +3,8 @@
 from repro.harness.figures import figure5
 
 
-def test_figure5_cg_scaling(benchmark):
-    fig = benchmark(figure5)
+def test_figure5_cg_scaling(benchmark, time_best_of, bench_artifact):
+    generate_s, fig = time_best_of("fig5.generate", lambda: benchmark(figure5), 1)
     assert len(fig.series) == 5
     sg44 = dict(fig.series["Sophon SG2044"])
     sg42 = dict(fig.series["Sophon SG2042"])
@@ -13,5 +13,10 @@ def test_figure5_cg_scaling(benchmark):
     tx = dict(fig.series["Marvell ThunderX2"])
     assert tx[16] > sg44[16]
     assert sg44[64] > tx[32]
+    bench_artifact(
+        "fig5_cg.regenerate",
+        generate_s=generate_s,
+        sg2044_full_chip_vs_tx2=sg44[64] / tx[32],
+    )
     print()
     print(fig.render())

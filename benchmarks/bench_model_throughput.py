@@ -6,7 +6,7 @@ from repro.machines.catalog import get_machine
 from repro.npb.signatures import signature_for
 
 
-def test_prediction_throughput(benchmark):
+def test_prediction_throughput(benchmark, time_best_of, bench_artifact):
     model = PerformanceModel()
     machine = get_machine("sg2044")
     compiler = get_compiler("gcc-15.2")
@@ -21,6 +21,13 @@ def test_prediction_throughput(benchmark):
 
     preds = benchmark(sweep)
     assert len(preds) == 35
+    sweep_s, _ = time_best_of("model.predict_sweep", sweep, 3)
+    bench_artifact(
+        "model.prediction_throughput",
+        n_predictions=len(preds),
+        sweep_s=sweep_s,
+        predictions_per_s=len(preds) / sweep_s,
+    )
 
 
 def test_prediction_throughput_batched(benchmark, time_best_of, bench_artifact):

@@ -8,8 +8,15 @@ KERNELS = ["is", "mg", "ep", "cg", "ft", "bt", "lu", "sp"]
 
 
 @pytest.mark.parametrize("kernel", KERNELS)
-def test_functional_class_s(benchmark, kernel):
-    result = benchmark.pedantic(
-        run_benchmark, args=(kernel, "S"), iterations=1, rounds=1
+def test_functional_class_s(benchmark, kernel, time_best_of, bench_artifact):
+    run_s, result = time_best_of(
+        f"npb.class_s_{kernel}",
+        lambda: benchmark.pedantic(
+            run_benchmark, args=(kernel, "S"), iterations=1, rounds=1
+        ),
+        1,
     )
     assert result.verified
+    bench_artifact(
+        f"npb.class_s_{kernel}", run_s=run_s, verified=result.verified
+    )

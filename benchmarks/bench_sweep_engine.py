@@ -86,7 +86,7 @@ def test_planner_cold_paper_regeneration(
     assert speedup >= _PLANNER_TARGET
 
 
-def test_batch_vs_loop_prediction(benchmark):
+def test_batch_vs_loop_prediction(benchmark, time_best_of, bench_artifact):
     """Batched grid evaluation of every paper kernel on both Sophons."""
     model = PerformanceModel()
     compiler = get_compiler("gcc-15.2")
@@ -105,9 +105,16 @@ def test_batch_vs_loop_prediction(benchmark):
     # The batch path must agree with the one-at-a-time path exactly.
     spot = model.predict(machines[0], sigs[0], compiler, _THREADS[-1])
     assert spot in preds
+    sweep_s, _ = time_best_of("sweep.batch_grid", sweep, 3)
+    bench_artifact(
+        "sweep.batch_grid_prediction",
+        n_predictions=len(preds),
+        sweep_s=sweep_s,
+        predictions_per_s=len(preds) / sweep_s,
+    )
 
 
-def test_warm_cache_sweep_regeneration(benchmark):
+def test_warm_cache_sweep_regeneration(benchmark, time_best_of, bench_artifact):
     """Re-expanding a Table-4-style grid against a warmed engine."""
     engine = SweepEngine()
     grid = expand_grid(
@@ -122,9 +129,16 @@ def test_warm_cache_sweep_regeneration(benchmark):
     results = benchmark(regenerate)
     assert results == warm
     assert engine.hits > 0
+    regenerate_s, _ = time_best_of("sweep.warm_regenerate", regenerate, 3)
+    bench_artifact(
+        "sweep.warm_cache_regeneration",
+        n_configs=len(grid),
+        regenerate_s=regenerate_s,
+        configs_per_s=len(grid) / regenerate_s,
+    )
 
 
-def test_thread_sweep_through_engine(benchmark):
+def test_thread_sweep_through_engine(benchmark, time_best_of, bench_artifact):
     """One figure line (64-point family collapse) through sweep_threads."""
     engine = SweepEngine()
     config = ExperimentConfig(machine="sg2044", kernel="cg", vectorise=False)
@@ -136,3 +150,10 @@ def test_thread_sweep_through_engine(benchmark):
     results = benchmark(sweep)
     assert [r.n_threads for r in results] == list(_THREADS)
     assert all(r.kernel == "cg" for r in results)
+    sweep_s, _ = time_best_of("sweep.thread_line", sweep, 3)
+    bench_artifact(
+        "sweep.thread_line_cold",
+        n_points=len(results),
+        sweep_s=sweep_s,
+        points_per_s=len(results) / sweep_s,
+    )

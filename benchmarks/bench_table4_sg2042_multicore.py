@@ -3,13 +3,19 @@
 from repro.harness.tables import table4
 
 
-def test_table4_full_chip(benchmark):
-    result = benchmark(table4)
+def test_table4_full_chip(benchmark, time_best_of, bench_artifact):
+    generate_s, result = time_best_of("table4.generate", lambda: benchmark(table4), 1)
     ratios = {r[0]: r[3] for r in result.rows}
     # The paper's headline: 1.52x (EP) to 4.91x (IS).
     assert max(ratios, key=ratios.get) == "IS"
     assert min(ratios, key=ratios.get) == "EP"
     assert ratios["IS"] > 4.0
     assert 1.3 < ratios["EP"] < 1.8
+    bench_artifact(
+        "table4_sg2042_multicore.regenerate",
+        generate_s=generate_s,
+        is_full_chip_ratio=ratios["IS"],
+        ep_full_chip_ratio=ratios["EP"],
+    )
     print()
     print(result.render())

@@ -3,12 +3,17 @@
 from repro.harness.tables import table8
 
 
-def test_table8_compilers_64_cores(benchmark):
-    result = benchmark(table8)
+def test_table8_compilers_64_cores(benchmark, time_best_of, bench_artifact):
+    generate_s, result = time_best_of("table8.generate", lambda: benchmark(table8), 1)
     is_row = next(r for r in result.rows if r[0] == "IS")
     # GCC 12.3.1 leaves >20% of the 64-core IS rate on the table.
     assert is_row[1] < 0.85 * is_row[3]
     cg = next(r for r in result.rows if r[0] == "CG")
     assert cg[3] < 0.75 * cg[5]  # pathology persists, milder than 1-core
+    bench_artifact(
+        "table8_compilers_multicore.regenerate",
+        generate_s=generate_s,
+        is_gcc12_fraction=is_row[1] / is_row[3],
+    )
     print()
     print(result.render())

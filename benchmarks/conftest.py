@@ -6,113 +6,40 @@ and prints each regenerator's runtime.  Shape assertions inside the
 benchmarks keep them honest -- a regression that breaks the reproduced
 result fails the bench, not just slows it.
 
-The timing/escalation boilerplate the per-bench files used to duplicate
-lives here as three session fixtures:
+The measurement discipline lives in :mod:`repro.bench.fixtures` (one
+implementation, shared with the gate's toy suites):
 
 ``time_best_of``
-    Best-of-N wall clock through ``obs.host_timer`` (the one sanctioned
-    measurement site), with the garbage collector paused so an unlucky
-    gc cycle cannot be charged to whichever side happened to trigger it.
+    Best-of-N wall clock through ``obs.host_timer``, gc paused, with a
+    minimum-elapsed floor so throughput ratios can divide by it
+    unconditionally.
 ``escalate_until``
-    The shared-CI noise counter: re-measure until a headline ratio clears
-    its margin or the round budget runs out (plain best-of-N, applied
-    symmetrically to both sides of the ratio).
+    The shared-CI noise counter: re-measure until a headline ratio
+    clears its margin or the round budget runs out.
 ``bench_artifact``
-    A session-scoped recorder that writes ONE schema-versioned JSON
-    artifact per benchmark run (atomic, so a crash never leaves a
-    truncated-but-parseable report).  Override the output path with
-    ``REPRO_BENCH_ARTIFACT``.
+    A session-scoped recorder that merges this session's entries *by
+    label* into the schema-v2 artifact at teardown -- a subset run
+    (``pytest benchmarks/bench_store.py``) updates its own suite's rows
+    and preserves every other suite's.  Override the output path with
+    ``REPRO_BENCH_ARTIFACT``.  Lint rule R013 requires every bench test
+    to record through it; ``repro bench`` accumulates the recorded runs
+    into ``benchmarks/history/`` and ``repro bench --check`` gates new
+    runs against that trajectory.
 """
 
-import gc
-import json
-import os
 from pathlib import Path
 
 import pytest
 
-#: Version of the ``bench_artifact`` JSON layout.  Bump when the shape of
-#: the payload (not the entries' free-form fields) changes.
-BENCH_ARTIFACT_SCHEMA_VERSION = 1
+from repro.bench.fixtures import (  # noqa: F401  (fixtures re-exported to pytest)
+    escalate_until,
+    make_bench_artifact_fixture,
+    time_best_of,
+)
 
-_DEFAULT_ARTIFACT = Path(__file__).parent / "bench_artifact.json"
-
-
-def _time_best_of(label, fn, reps, *, setup=None):
-    """Best-of-``reps`` runtime of ``fn`` plus its last return value.
-
-    ``setup`` (when given) runs once per rep *outside* the timed region
-    and its return value is passed to ``fn`` -- use it for fresh-state
-    cold-path measurements (a new engine, a rebuilt hierarchy).  Timing
-    goes through ``obs.host_timer(f"bench.{label}")`` so the interval
-    also lands in the telemetry report's ``timings`` section when a
-    recorder is installed.
-    """
-    from repro import obs
-
-    best_s = None
-    result = None
-    gc_was_enabled = gc.isenabled()
-    gc.collect()
-    gc.disable()
-    try:
-        for _ in range(reps):
-            args = () if setup is None else (setup(),)
-            with obs.host_timer(f"bench.{label}") as timer:
-                result = fn(*args)
-            if best_s is None or timer.elapsed_s < best_s:
-                best_s = timer.elapsed_s
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-    return best_s, result
-
-
-def _escalate_until(headline, remeasure, *, margin, max_rounds):
-    """Re-measure until ``headline()`` clears ``margin``; returns rounds used.
-
-    Shared CI boxes see minutes-long host-load epochs that move the two
-    sides of a speedup ratio differently, so a single measurement round
-    can understate either side.  Each ``remeasure()`` call should fold
-    fresh samples into accumulated per-side minima.
-    """
-    rounds = 0
-    while headline() < margin and rounds < max_rounds:
-        rounds += 1
-        remeasure()
-    return rounds
-
-
-@pytest.fixture(scope="session")
-def time_best_of():
-    return _time_best_of
-
-
-@pytest.fixture(scope="session")
-def escalate_until():
-    return _escalate_until
-
-
-@pytest.fixture(scope="session")
-def bench_artifact():
-    """Record ``(label, **fields)`` entries; written as one JSON at teardown."""
-    from repro.faults import write_text_atomic
-
-    entries = []
-
-    def record(label, **fields):
-        entries.append({"label": label, **fields})
-
-    yield record
-
-    if not entries:
-        return
-    path = Path(os.environ.get("REPRO_BENCH_ARTIFACT", _DEFAULT_ARTIFACT))
-    payload = {
-        "schema_version": BENCH_ARTIFACT_SCHEMA_VERSION,
-        "entries": sorted(entries, key=lambda e: e["label"]),
-    }
-    write_text_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+bench_artifact = make_bench_artifact_fixture(
+    Path(__file__).parent / "bench_artifact.json"
+)
 
 
 @pytest.fixture(scope="session")

@@ -1,8 +1,9 @@
-"""Built-in rules.  Importing this package registers R001-R012."""
+"""Built-in rules.  Importing this package registers R001-R013."""
 
 from __future__ import annotations
 
 from . import (  # noqa: F401
+    benchrecord,
     blocking,
     catalog,
     concurrency,
@@ -30,4 +31,5 @@ __all__ = [
     "blocking",
     "forksafety",
     "storeio",
+    "benchrecord",
 ]

@@ -1,0 +1,67 @@
+"""repro.bench -- the always-on performance trajectory.
+
+Nine PRs of measured speedups (batched sweeps, the vectorized cache
+simulator, warm lint, store-warm campaigns) are claims about *time*, and
+time regresses silently unless something keeps score.  This package is
+that something: one schema for the benchmark artifact, one append-only
+history of every recorded run, and one noise-aware gate comparing the
+newest run against the trajectory -- the same discipline the SG2042 /
+SG2044 papers apply to their NPB/STREAM/HPL suites across hardware
+generations (same benchmarks, accumulated results, explicit deltas).
+
+Layers
+------
+:mod:`~repro.bench.schema`
+    The schema-v2 benchmark artifact: merged-by-label entries tagged
+    with their suite, plus per-run metadata (git sha, timestamp,
+    machine fingerprint, suites run, escalation rounds).
+:mod:`~repro.bench.history`
+    Append-only run records under ``benchmarks/history/``, written with
+    the result store's atomic-write / sha256-verified codec discipline.
+:mod:`~repro.bench.thresholds` / :mod:`~repro.bench.compare`
+    Per-entry regression margins derived from the historical spread,
+    and the delta classification (`ok` / `regression` / `improved` /
+    `seeded`) the gate's exit code folds down from.
+:mod:`~repro.bench.runner`
+    ``repro bench`` / ``repro bench --check``: run a named suite
+    subset through pytest, fold the paper-fidelity scorecard into the
+    same artifact, escalate-until re-measurement before declaring a
+    regression, record the run into the history.
+:mod:`~repro.bench.fixtures`
+    The shared pytest fixtures every ``benchmarks/bench_*.py`` file
+    records through (``bench_artifact``, ``time_best_of``,
+    ``escalate_until``); lint rule R013 keeps adoption total.
+"""
+
+from __future__ import annotations
+
+from .compare import Delta, compare_entries, regressions, render_deltas
+from .history import BenchHistory, HistoryError, decode_record, encode_record
+from .runner import BenchError, check_run, discover_suites, record_run
+from .schema import (
+    SCHEMA_VERSION,
+    load_artifact,
+    merge_artifact,
+    run_metadata,
+    write_artifact,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "load_artifact",
+    "merge_artifact",
+    "run_metadata",
+    "write_artifact",
+    "BenchHistory",
+    "HistoryError",
+    "encode_record",
+    "decode_record",
+    "Delta",
+    "compare_entries",
+    "regressions",
+    "render_deltas",
+    "BenchError",
+    "discover_suites",
+    "record_run",
+    "check_run",
+]

@@ -1,0 +1,137 @@
+"""Delta classification: one run's entries against the recorded history.
+
+:func:`compare_entries` walks every gated field of every entry the run
+recorded and classifies it against the trajectory:
+
+``seeded``
+    No history for the label/field yet -- the run passes and becomes
+    the first baseline (an empty history can never fail the gate).
+``ok``
+    Within the noise-aware margin of the historical best.
+``improved``
+    Beats the historical best by more than the margin -- informational
+    (new standing record once the run is appended), never a failure.
+``regression``
+    Worse than the historical best by more than the margin.  The gate
+    re-measures (escalation) before believing this verdict; a delta
+    that survives re-measurement fails the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .thresholds import baseline_from_history, field_direction, margin_from_history
+
+__all__ = ["Delta", "compare_entries", "regressions", "render_deltas"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One gated field of one entry, classified against its history."""
+
+    label: str
+    field: str
+    direction: str
+    observed: float
+    baseline: float | None
+    margin: float
+    n_history: int
+    verdict: str  # "seeded" | "ok" | "improved" | "regression"
+
+    @property
+    def ratio(self) -> float | None:
+        """observed/baseline (slowdown factor for lower-better fields)."""
+        if self.baseline is None or self.baseline == 0:
+            return None
+        return self.observed / self.baseline
+
+    def summary(self) -> str:
+        if self.baseline is None:
+            return (
+                f"{self.label:<40} {self.field:<16} seeded     "
+                f"{self.observed:.6g}"
+            )
+        return (
+            f"{self.label:<40} {self.field:<16} {self.verdict:<10} "
+            f"{self.observed:.6g} vs {self.baseline:.6g} "
+            f"(x{self.ratio:.2f}, margin {100 * self.margin:.0f}%, "
+            f"n={self.n_history})"
+        )
+
+
+def _classify(observed: float, baseline: float, margin: float, direction: str) -> str:
+    if direction == "lower":
+        if observed > baseline * (1.0 + margin):
+            return "regression"
+        if observed < baseline / (1.0 + margin):
+            return "improved"
+        return "ok"
+    if observed < baseline / (1.0 + margin):
+        return "regression"
+    if observed > baseline * (1.0 + margin):
+        return "improved"
+    return "ok"
+
+
+def compare_entries(entries: list[dict], history) -> list[Delta]:
+    """Classify every gated field of ``entries`` against ``history``.
+
+    ``history`` is a :class:`~repro.bench.history.BenchHistory` (or
+    anything with its ``series(label, field)`` method).  Non-numeric
+    fields and fields with no recognised direction are skipped --
+    free-form entry fields (counts, dicts, notes) are context, not
+    gated quantities.
+    """
+    deltas: list[Delta] = []
+    for entry in sorted(entries, key=lambda e: e.get("label", "")):
+        label = entry.get("label")
+        if not label:
+            continue
+        for field in sorted(entry):
+            direction = field_direction(field)
+            if direction is None:
+                continue
+            value = entry[field]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            values = history.series(label, field)
+            baseline = baseline_from_history(values, direction)
+            margin = margin_from_history(values)
+            if baseline is None:
+                verdict = "seeded"
+            else:
+                verdict = _classify(float(value), baseline, margin, direction)
+            deltas.append(
+                Delta(
+                    label=label,
+                    field=field,
+                    direction=direction,
+                    observed=float(value),
+                    baseline=baseline,
+                    margin=margin,
+                    n_history=len(values),
+                    verdict=verdict,
+                )
+            )
+    return deltas
+
+
+def regressions(deltas: list[Delta]) -> list[Delta]:
+    return [d for d in deltas if d.verdict == "regression"]
+
+
+def render_deltas(deltas: list[Delta], verbose: bool = False) -> str:
+    """Human-readable gate report (regressions always shown in full)."""
+    lines = []
+    counts = {"seeded": 0, "ok": 0, "improved": 0, "regression": 0}
+    for delta in deltas:
+        counts[delta.verdict] += 1
+        if verbose or delta.verdict in ("regression", "improved"):
+            lines.append("  " + delta.summary())
+    header = (
+        f"bench gate: {len(deltas)} gated fields -- "
+        f"{counts['ok']} ok, {counts['improved']} improved, "
+        f"{counts['seeded']} seeded, {counts['regression']} regression(s)"
+    )
+    return "\n".join([header] + lines) + "\n"

@@ -1,0 +1,188 @@
+"""Append-only history of benchmark runs under ``benchmarks/history/``.
+
+Each recorded run becomes one file, ``run-<seq>-<sha7>.json``, written
+with the same discipline as :mod:`repro.store` entries: an atomic
+tmp+rename publish, a canonical (sorted-keys, ``repr``-float) JSON
+payload, and a sha256 over the payload text so a torn or tampered file
+is *detected* -- a record that fails verification is skipped and
+counted (``bench.history_corrupt``), never decoded into wrong numbers
+and never deleted (the history is append-only; even a corrupt file is
+evidence).
+
+The payload codec round-trips byte-identically: ``encode_record`` of a
+``decode_record`` reproduces the original file text exactly, because
+JSON renders floats with ``repr`` (shortest round-trip) and the key
+order is canonical.  That is what lets the regression gate treat the
+history as ground truth -- a baseline re-read from disk is the number
+that was measured, bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from repro import obs
+
+__all__ = [
+    "HISTORY_VERSION",
+    "HistoryError",
+    "encode_record",
+    "decode_record",
+    "BenchHistory",
+    "trajectory_summary",
+]
+
+#: Bump when the record payload changes shape; old records then fail the
+#: version check and are skipped, never misdecoded.
+HISTORY_VERSION = 1
+
+_RUN_FILE_RE = re.compile(r"run-(\d{6})-[0-9a-z]+\.json$")
+
+
+class HistoryError(ValueError):
+    """A history record failed decoding or verification."""
+
+
+def encode_record(record: dict) -> str:
+    """Serialise one run record (canonical JSON + sha256 wrapper)."""
+    payload_text = json.dumps(record, sort_keys=True)
+    return (
+        json.dumps(
+            {
+                "version": HISTORY_VERSION,
+                "payload": payload_text,
+                "sha256": hashlib.sha256(payload_text.encode()).hexdigest(),
+            },
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def decode_record(text: str) -> dict:
+    """Inverse of :func:`encode_record`; raises :class:`HistoryError`."""
+    try:
+        wrapper = json.loads(text)
+    except ValueError as exc:
+        raise HistoryError(f"history record is not valid JSON: {exc}") from None
+    if not isinstance(wrapper, dict) or wrapper.get("version") != HISTORY_VERSION:
+        raise HistoryError("history record version mismatch")
+    payload_text = wrapper.get("payload")
+    if not isinstance(payload_text, str):
+        raise HistoryError("history record payload must be a JSON string")
+    actual = hashlib.sha256(payload_text.encode()).hexdigest()
+    if wrapper.get("sha256") != actual:
+        raise HistoryError("history record sha256 mismatch")
+    record = json.loads(payload_text)
+    if not isinstance(record, dict):
+        raise HistoryError("history record payload must decode to an object")
+    return record
+
+
+class BenchHistory:
+    """One history directory: append run records, read baselines back.
+
+    The store is append-only and coordination-free: records are
+    published atomically under monotonically increasing sequence
+    numbers, readers sort by filename, and nothing here ever rewrites
+    or deletes a record.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _paths(self) -> list[Path]:
+        try:
+            names = sorted(
+                p for p in self.root.iterdir() if _RUN_FILE_RE.match(p.name)
+            )
+        except OSError:
+            return []
+        return names
+
+    def __len__(self) -> int:
+        return len(self._paths())
+
+    def append(self, record: dict) -> Path:
+        """Publish one run record; returns the path it landed at."""
+        from repro.faults import write_text_atomic
+
+        paths = self._paths()
+        last_seq = 0
+        if paths:
+            match = _RUN_FILE_RE.match(paths[-1].name)
+            last_seq = int(match.group(1)) if match else 0
+        sha = (record.get("run") or {}).get("git_sha") or "nogit"
+        name = f"run-{last_seq + 1:06d}-{str(sha)[:7]}.json"
+        path = self.root / name
+        self.root.mkdir(parents=True, exist_ok=True)
+        write_text_atomic(path, encode_record(record))
+        obs.incr("bench.history_appends")
+        return path
+
+    def records(self) -> list[dict]:
+        """Every verifiable record, oldest first (corrupt ones skipped)."""
+        out = []
+        for path in self._paths():
+            try:
+                out.append(decode_record(path.read_text(encoding="utf-8")))
+            except (OSError, HistoryError):
+                obs.incr("bench.history_corrupt")
+        return out
+
+    def latest(self) -> dict | None:
+        records = self.records()
+        return records[-1] if records else None
+
+    def series(self, label: str, field: str) -> list[float]:
+        """Historical values of one entry field, oldest first.
+
+        Only runs that recorded the label contribute; non-numeric values
+        are skipped (free-form entry fields may hold anything).
+        """
+        values = []
+        for record in self.records():
+            for entry in record.get("entries", []):
+                if entry.get("label") != label:
+                    continue
+                value = entry.get(field)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    values.append(float(value))
+        return values
+
+    def labels(self) -> set[str]:
+        return {
+            entry["label"]
+            for record in self.records()
+            for entry in record.get("entries", [])
+            if "label" in entry
+        }
+
+
+def trajectory_summary(root: str | Path) -> dict | None:
+    """Compact latest-trajectory block for ``/health`` and ``/stats``.
+
+    ``None`` when the history directory does not exist or holds no
+    verifiable record -- the service endpoints degrade to "no
+    trajectory recorded" instead of failing.
+    """
+    history = BenchHistory(root)
+    records = history.records()
+    if not records:
+        return None
+    latest = records[-1]
+    run = latest.get("run") or {}
+    return {
+        "runs": len(records),
+        "labels": len(history.labels()),
+        "latest": {
+            "git_sha": run.get("git_sha"),
+            "timestamp": run.get("timestamp"),
+            "suites": run.get("suites", []),
+            "entries": len(latest.get("entries", [])),
+            "empty": run.get("empty", False),
+        },
+    }

@@ -1,0 +1,314 @@
+"""``repro bench``: run suites, record the trajectory, gate regressions.
+
+The runner turns the ``benchmarks/`` directory into a *named suite
+manifest* (``bench_store.py`` -> suite ``store``), runs the requested
+subset through pytest in a subprocess (``--benchmark-disable``: timing
+comes from the shared ``time_best_of`` fixture, not pytest-benchmark),
+reads back the schema-v2 artifact the session wrote into a scratch
+path, folds the paper-fidelity scorecard into the same entry stream,
+and then either *records* (merge into the main artifact + append to
+the history) or *checks* (compare against the history with noise-aware
+margins, escalate-until re-measurement before declaring a regression,
+loud non-zero exit when one survives).
+
+Check semantics, in acceptance-criteria terms:
+
+* an **empty history passes and seeds** -- the run becomes baseline #1;
+* a **clean run** passes and is appended, so two consecutive full runs
+  accumulate two history records;
+* an apparent regression is **re-measured**: the suites owning the
+  regressed labels re-run (up to ``--rounds`` times) and per-field
+  bests are folded before the verdict stands -- a host-load epoch must
+  not fail the gate;
+* a surviving regression exits 1 and is **not** appended to the
+  history (a bad run must not become the next baseline); ``--bless``
+  overrides after an intentional perf change.
+
+Fidelity rides the same gate: scorecard error statistics become
+``fidelity.*`` entries whose ``*_err`` fields are gated lower-better,
+so the model drifting away from the paper fails ``repro bench --check``
+exactly like a slowdown does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import obs
+
+from . import schema
+from .compare import Delta, compare_entries, regressions
+from .history import BenchHistory
+
+__all__ = [
+    "BenchError",
+    "discover_suites",
+    "fidelity_entries",
+    "make_pytest_runner",
+    "record_run",
+    "check_run",
+]
+
+#: Synthetic suite name the scorecard entries are recorded under (it is
+#: recomputed in-process, not run through pytest).
+FIDELITY_SUITE = "fidelity"
+
+
+class BenchError(RuntimeError):
+    """A benchmark run failed outright (bad suite name, pytest failure)."""
+
+
+def discover_suites(bench_dir: str | Path) -> dict[str, Path]:
+    """Suite name -> bench file for every ``bench_*.py`` in the directory."""
+    bench_dir = Path(bench_dir)
+    suites = {}
+    try:
+        names = sorted(os.listdir(bench_dir))
+    except OSError:
+        return {}
+    for name in names:
+        if name.startswith("bench_") and name.endswith(".py"):
+            suites[name[len("bench_"):-len(".py")]] = bench_dir / name
+    return suites
+
+
+def _resolve_files(bench_dir: Path, suites: list[str] | None) -> list[Path]:
+    known = discover_suites(bench_dir)
+    if not known:
+        raise BenchError(f"no bench_*.py suites found under {bench_dir}")
+    if suites is None:
+        return list(known.values())
+    missing = sorted(set(suites) - set(known))
+    if missing:
+        raise BenchError(
+            f"unknown suite(s) {', '.join(missing)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [known[s] for s in suites]
+
+
+def make_pytest_runner(bench_dir: str | Path, pytest_args: tuple[str, ...] = ()):
+    """The default run function: one pytest subprocess per invocation.
+
+    Returns ``runner(suites) -> (entries, run_meta)``.  The subprocess
+    writes its artifact into a scratch path (``REPRO_BENCH_ARTIFACT``),
+    so a gate run never touches the main artifact until the runner
+    decides to merge.
+    """
+    bench_dir = Path(bench_dir)
+
+    def run(suites: list[str] | None) -> tuple[list[dict], dict]:
+        files = _resolve_files(bench_dir, suites)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+            scratch_artifact = Path(scratch) / "bench_artifact.json"
+            env = dict(os.environ)
+            env["REPRO_BENCH_ARTIFACT"] = str(scratch_artifact)
+            cmd = [
+                sys.executable,
+                "-m",
+                "pytest",
+                *[str(f) for f in files],
+                "-q",
+                "--benchmark-disable",
+                "-o",
+                "python_files=bench_*.py",
+                *pytest_args,
+            ]
+            proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+            if proc.returncode != 0:
+                tail = "\n".join(
+                    (proc.stdout + "\n" + proc.stderr).strip().splitlines()[-25:]
+                )
+                raise BenchError(
+                    f"benchmark run failed (pytest exit {proc.returncode}):\n{tail}"
+                )
+            artifact = schema.load_artifact(scratch_artifact)
+            if artifact is None:
+                raise BenchError(
+                    "benchmark run wrote no artifact "
+                    f"(expected {scratch_artifact}); do the suites use the "
+                    "bench_artifact fixture?"
+                )
+            return artifact.get("entries", []), artifact.get("run", {})
+
+    return run
+
+
+def _fidelity_slug(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+
+
+def fidelity_entries() -> list[dict]:
+    """The paper-fidelity scorecard as gateable artifact entries.
+
+    Deterministic (the scorecard runs the model at ``noise_cv=0``), so
+    these entries repeat bit-identically until the model changes -- any
+    drift is a real fidelity change, and the ``*_err`` fields gate it
+    lower-better alongside the speed entries.
+    """
+    from repro.harness.scorecard import scorecard
+
+    entries = []
+    for score in scorecard():
+        entries.append(
+            {
+                "label": f"fidelity.{_fidelity_slug(score.name)}",
+                "suite": FIDELITY_SUITE,
+                "n_points": score.n_points,
+                "mean_abs_rel_err": score.mean_abs_rel_err,
+                "max_abs_rel_err": score.max_abs_rel_err,
+            }
+        )
+    return entries
+
+
+def _run_once(run_fn, suites, fidelity: bool) -> tuple[list[dict], dict]:
+    entries, run_meta = run_fn(suites)
+    entries = list(entries)
+    if fidelity:
+        fid = fidelity_entries()
+        entries.extend(fid)
+        run_meta = dict(run_meta)
+        run_meta["suites"] = sorted(
+            set(run_meta.get("suites", ())) | {FIDELITY_SUITE}
+        )
+        run_meta["labels_recorded"] = sorted(
+            set(run_meta.get("labels_recorded", ())) | {e["label"] for e in fid}
+        )
+    return entries, run_meta
+
+
+def _commit(
+    artifact_path: Path, history: BenchHistory, entries: list[dict], run_meta: dict
+) -> None:
+    """Merge into the main artifact and append the run to the history."""
+    merged = schema.merge_artifact(
+        schema.load_artifact(artifact_path), entries, run_meta
+    )
+    schema.write_artifact(artifact_path, merged)
+    history.append({"run": run_meta, "entries": entries})
+
+
+def record_run(
+    bench_dir: str | Path,
+    artifact_path: str | Path | None = None,
+    history: BenchHistory | None = None,
+    suites: list[str] | None = None,
+    fidelity: bool = True,
+    run_fn=None,
+) -> tuple[list[dict], dict]:
+    """``repro bench``: run, merge into the artifact, append to history."""
+    bench_dir = Path(bench_dir)
+    artifact_path = Path(artifact_path or bench_dir / "bench_artifact.json")
+    if history is None:  # `or` would drop an *empty* history (len 0 is falsy)
+        history = BenchHistory(bench_dir / "history")
+    run_fn = run_fn or make_pytest_runner(bench_dir)
+    entries, run_meta = _run_once(run_fn, suites, fidelity)
+    _commit(artifact_path, history, entries, run_meta)
+    obs.incr("bench.runs_recorded")
+    return entries, run_meta
+
+
+def _fold_best(entries: list[dict], fresh: list[dict]) -> list[dict]:
+    """Fold a re-measurement into accumulated per-field bests.
+
+    Gated fields keep their best observation across rounds (min for
+    lower-better, max for higher-better -- the same accumulated-minima
+    discipline ``escalate_until`` applies inside a single bench);
+    everything else takes the fresh value.
+    """
+    from .thresholds import field_direction
+
+    by_label = {e["label"]: dict(e) for e in entries}
+    for new in fresh:
+        old = by_label.get(new["label"])
+        if old is None:
+            by_label[new["label"]] = dict(new)
+            continue
+        merged = dict(new)
+        for field, value in new.items():
+            direction = field_direction(field)
+            prev = old.get(field)
+            if (
+                direction is not None
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and isinstance(prev, (int, float))
+                and not isinstance(prev, bool)
+            ):
+                fold = min if direction == "lower" else max
+                merged[field] = fold(float(prev), float(value))
+        by_label[new["label"]] = merged
+    return sorted(by_label.values(), key=lambda e: e["label"])
+
+
+def check_run(
+    bench_dir: str | Path,
+    artifact_path: str | Path | None = None,
+    history: BenchHistory | None = None,
+    suites: list[str] | None = None,
+    fidelity: bool = True,
+    rounds: int = 2,
+    bless: bool = False,
+    run_fn=None,
+) -> tuple[list[Delta], int, int]:
+    """``repro bench --check``: gate a fresh run against the history.
+
+    Returns ``(deltas, escalation_rounds_used, exit_code)``.  Exit code
+    0 means the run passed (and was appended to the history); 1 means a
+    regression survived re-measurement (and the run was *not* appended,
+    unless ``bless`` forced it through as the new baseline).
+    """
+    bench_dir = Path(bench_dir)
+    artifact_path = Path(artifact_path or bench_dir / "bench_artifact.json")
+    if history is None:  # `or` would drop an *empty* history (len 0 is falsy)
+        history = BenchHistory(bench_dir / "history")
+    run_fn = run_fn or make_pytest_runner(bench_dir)
+
+    entries, run_meta = _run_once(run_fn, suites, fidelity)
+    deltas = compare_entries(entries, history)
+
+    escalations = 0
+    while regressions(deltas) and escalations < rounds:
+        # Escalate: re-measure only the suites owning regressed labels.
+        # Fidelity is deterministic -- re-running it cannot change the
+        # verdict -- and entries without a runnable suite have nothing
+        # to re-run; if nothing is re-runnable, the verdict stands.
+        by_label = {e["label"]: e for e in entries}
+        suspect = {
+            by_label[d.label].get("suite")
+            for d in regressions(deltas)
+            if d.label in by_label
+        }
+        rerun = sorted(
+            s
+            for s in suspect
+            if s and s != FIDELITY_SUITE and s in discover_suites(bench_dir)
+        )
+        if not rerun:
+            break
+        escalations += 1
+        obs.incr("bench.check_escalations")
+        fresh, _ = run_fn(rerun)
+        entries = _fold_best(entries, list(fresh))
+        deltas = compare_entries(entries, history)
+
+    failed = bool(regressions(deltas))
+    run_meta = dict(run_meta)
+    run_meta["escalation_rounds"] = (
+        run_meta.get("escalation_rounds", 0) + escalations
+    )
+    if not failed or bless:
+        _commit(artifact_path, history, entries, run_meta)
+        obs.incr("bench.runs_recorded")
+    if failed:
+        obs.incr("bench.check_failed")
+        return deltas, escalations, 0 if bless else 1
+    obs.incr("bench.check_passed")
+    return deltas, escalations, 0

@@ -1,0 +1,174 @@
+"""Schema v2 of the benchmark artifact: merged entries + run metadata.
+
+The v1 artifact was a bare ``{"schema_version": 1, "entries": [...]}``
+snapshot that each benchmark session *replaced wholesale* -- a subset run
+(``pytest benchmarks/bench_store.py``) clobbered every other suite's
+entries, and nothing recorded which run produced which number.  Schema
+v2 fixes both:
+
+* **entries are merged by label**: a run replaces the entries of the
+  suites it executed (stale labels from those suites drop out) and
+  preserves everything recorded by suites it did not touch;
+* **every artifact carries its latest run's metadata**: git sha,
+  wall-clock timestamp, machine fingerprint, the suite subset that ran,
+  the labels it recorded and the escalation rounds the measurements
+  spent -- enough to interpret any number in the file, and the exact
+  fields the history store accumulates per run.
+
+An *empty* run (a session that recorded nothing, e.g. a ``-k`` filter
+matching no recording test) still rewrites the run metadata with
+``"empty": true`` instead of silently leaving a stale artifact that
+misreports the last run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "git_sha",
+    "machine_fingerprint",
+    "run_metadata",
+    "load_artifact",
+    "merge_artifact",
+    "artifact_text",
+    "write_artifact",
+]
+
+#: Version of the benchmark artifact layout.  v1 (entries only) is
+#: upgraded transparently on load; anything else is treated as absent.
+SCHEMA_VERSION = 2
+
+
+def git_sha(cwd: str | Path | None = None) -> str | None:
+    """The repository HEAD sha, or ``None`` outside a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def machine_fingerprint() -> dict:
+    """What hardware/interpreter produced a run (coarse, stable fields)."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _timestamp() -> str:
+    """ISO-8601 UTC wall-clock stamp for run metadata.
+
+    Run metadata is the one place the bench layer *wants* wall clock:
+    it records when a measurement happened, it never feeds a result.
+    """
+    from datetime import datetime, timezone
+
+    now = datetime.now(timezone.utc)  # repro: noqa[R001] -- run metadata, not a result
+    return now.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def run_metadata(
+    suites: list[str] | tuple[str, ...] = (),
+    labels: list[str] | tuple[str, ...] = (),
+    escalation_rounds: int = 0,
+    empty: bool = False,
+    cwd: str | Path | None = None,
+) -> dict:
+    """The per-run metadata block schema v2 attaches to every artifact."""
+    return {
+        "git_sha": git_sha(cwd),
+        "timestamp": _timestamp(),
+        "machine": machine_fingerprint(),
+        "suites": sorted(set(suites)),
+        "labels_recorded": sorted(set(labels)),
+        "escalation_rounds": escalation_rounds,
+        "empty": empty,
+    }
+
+
+def load_artifact(path: str | Path) -> dict | None:
+    """Load an artifact, upgrading v1 in place; ``None`` when unusable.
+
+    A v1 artifact has no run metadata and no suite tags; its entries are
+    kept (``suite: None`` -- a later run of any suite merges over them
+    by label) under a synthetic "upgraded" run block so downstream code
+    sees one shape.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (FileNotFoundError, OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        return None
+    version = data.get("schema_version")
+    if version == SCHEMA_VERSION:
+        return data
+    if version == 1:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "run": {"upgraded_from": 1, "suites": [], "labels_recorded": [],
+                    "empty": False},
+            "entries": [
+                {**e, "suite": e.get("suite")} for e in entries if "label" in e
+            ],
+        }
+    return None
+
+
+def merge_artifact(
+    existing: dict | None,
+    new_entries: list[dict],
+    run_meta: dict,
+) -> dict:
+    """Fold one run's entries into an artifact, merged by label.
+
+    The merge keeps an existing entry unless this run superseded it:
+    either the run re-recorded its label, or the run executed its suite
+    (so a label the suite no longer records is stale and drops out).
+    Suites the run did not execute pass through untouched -- the subset
+    run that used to clobber the whole artifact now only touches its
+    own rows.
+    """
+    new_labels = {e["label"] for e in new_entries}
+    ran_suites = set(run_meta.get("suites", ()))
+    kept = []
+    if existing is not None:
+        for entry in existing.get("entries", []):
+            if entry.get("label") in new_labels:
+                continue
+            if entry.get("suite") in ran_suites:
+                continue  # suite ran but no longer records this label
+            kept.append(entry)
+    entries = sorted(kept + list(new_entries), key=lambda e: e["label"])
+    return {"schema_version": SCHEMA_VERSION, "run": run_meta, "entries": entries}
+
+
+def artifact_text(artifact: dict) -> str:
+    """Canonical artifact serialisation (sorted keys, trailing newline)."""
+    return json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+
+
+def write_artifact(path: str | Path, artifact: dict) -> None:
+    """Atomically publish an artifact (crash leaves the previous one)."""
+    from repro.faults import write_text_atomic
+
+    write_text_atomic(Path(path), artifact_text(artifact))

@@ -1,0 +1,78 @@
+"""Noise-aware regression margins derived from the historical spread.
+
+Shared CI boxes see minutes-long host-load epochs, so a fixed "X%
+slower fails" threshold either cries wolf (tight X on a noisy entry) or
+sleeps through real regressions (loose X on a stable one).  The gate
+sizes each entry's margin from its own trajectory instead: an entry
+whose history spans 2x run-to-run gets a wide berth, an entry that has
+repeated to within a few percent is held to that.
+
+The rules, deliberately simple enough to reason about in a CI log:
+
+* **direction** comes from the field name: ``*_s`` and ``*_err`` are
+  durations/errors (lower is better), ``*_per_s``, ``speedup`` and
+  ``*_speedup`` are rates (higher is better), anything else is
+  metadata and not gated;
+* **baseline** is the historical best (min for lower-better, max for
+  higher-better) -- the trajectory's standing record, matching the
+  best-of-N discipline the measurements themselves use;
+* **margin** is ``max(BASE_MARGIN, SPREAD_FACTOR * spread)`` where
+  ``spread`` is the history's relative range ``(max-min)/min``.  With
+  fewer than two observations the spread is unknowable and the base
+  margin applies.
+
+``BASE_MARGIN`` of 25% means a clean 2x slowdown always fires (the
+acceptance bar) while ordinary best-of-N jitter on a quiet box never
+does; ``SPREAD_FACTOR`` of 1.5 keeps an entry's full historical range,
+plus headroom, inside the allowed band.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BASE_MARGIN",
+    "SPREAD_FACTOR",
+    "field_direction",
+    "margin_from_history",
+    "baseline_from_history",
+]
+
+#: Minimum relative margin any gated field gets, regardless of history.
+BASE_MARGIN = 0.25
+
+#: How much of the historical relative spread the margin must cover.
+SPREAD_FACTOR = 1.5
+
+#: Field-name suffixes gated as "higher is better" (checked before the
+#: lower-better suffixes: ``_per_s`` also ends in ``_s``).
+_HIGHER_SUFFIXES = ("_per_s", "_speedup")
+_HIGHER_EXACT = ("speedup",)
+
+#: Field-name suffixes gated as "lower is better".
+_LOWER_SUFFIXES = ("_s", "_err")
+
+
+def field_direction(field: str) -> str | None:
+    """``"lower"``, ``"higher"`` or ``None`` (not a gated quantity)."""
+    if field in _HIGHER_EXACT or field.endswith(_HIGHER_SUFFIXES):
+        return "higher"
+    if field.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def margin_from_history(values: list[float]) -> float:
+    """The relative margin the history's spread earns an entry."""
+    usable = [v for v in values if v > 0]
+    if len(usable) < 2:
+        return BASE_MARGIN
+    spread = (max(usable) - min(usable)) / min(usable)
+    return max(BASE_MARGIN, SPREAD_FACTOR * spread)
+
+
+def baseline_from_history(values: list[float], direction: str) -> float | None:
+    """The standing record to compare against (``None`` without history)."""
+    usable = [v for v in values if v > 0]
+    if not usable:
+        return None
+    return min(usable) if direction == "lower" else max(usable)

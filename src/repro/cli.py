@@ -33,6 +33,13 @@ Commands
                  interrupted runs resume from journal sidecars and the
                  result store, and independent jobs (no ``needs`` edge)
                  run concurrently under ``--jobs``
+``bench``        run a named benchmark-suite subset, merge the schema-v2
+                 artifact and append the run to ``benchmarks/history/``;
+                 ``--check`` gates the run against the recorded
+                 trajectory with noise-aware per-entry margins
+                 (escalate-until re-measurement before any regression
+                 verdict; exit 1 when one survives, ``--bless`` to
+                 record a new baseline after an intentional change)
 
 Sweep-backed commands accept ``--store DIR`` (or ``REPRO_STORE``): a
 persistent content-addressed result store that makes every restart
@@ -225,6 +232,65 @@ def build_parser() -> argparse.ArgumentParser:
     _sweep_flags(pr)
     pp = campaign_sub.add_parser("plan", help="cost-estimate a scenario file")
     pp.add_argument("scenario", help="scenario YAML path")
+
+    p = sub.add_parser(
+        "bench",
+        help="run benchmark suites, record the perf trajectory, gate regressions",
+    )
+    p.add_argument(
+        "suites",
+        nargs="*",
+        default=None,
+        help="suite names (bench_<name>.py stems); default: every suite",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the run against the recorded history (exit 1 on regression)",
+    )
+    p.add_argument(
+        "--bless",
+        action="store_true",
+        help="record the run as the new baseline even if the gate fails",
+    )
+    p.add_argument(
+        "--list", dest="list_suites", action="store_true",
+        help="list known suites and exit",
+    )
+    p.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        default="benchmarks",
+        help="benchmark directory (default: benchmarks)",
+    )
+    p.add_argument(
+        "--artifact",
+        metavar="PATH",
+        default=None,
+        help="merged artifact path (default: <bench-dir>/bench_artifact.json)",
+    )
+    p.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="history directory (default: <bench-dir>/history)",
+    )
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="escalation re-measurement rounds for --check (default 2)",
+    )
+    p.add_argument(
+        "--no-fidelity",
+        action="store_true",
+        help="skip folding the paper-fidelity scorecard into the artifact",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every gated delta, not just regressions/improvements",
+    )
 
     p = sub.add_parser("lint", help=_lint_help())
     p.add_argument(
@@ -671,6 +737,65 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import BenchError, check_run, discover_suites, record_run
+    from repro.bench.compare import render_deltas
+    from repro.bench.history import BenchHistory
+
+    bench_dir = Path(args.bench_dir)
+    if args.list_suites:
+        suites = discover_suites(bench_dir)
+        if not suites:
+            print(f"repro: error: no bench suites under {bench_dir}", file=sys.stderr)
+            return 2
+        for name, path in sorted(suites.items()):
+            print(f"{name:<28} {path}")
+        return 0
+    suites = list(args.suites) if args.suites else None
+    artifact = args.artifact
+    history = BenchHistory(args.history) if args.history else None
+    try:
+        if args.check:
+            deltas, escalations, code = check_run(
+                bench_dir,
+                artifact_path=artifact,
+                history=history,
+                suites=suites,
+                fidelity=not args.no_fidelity,
+                rounds=args.rounds,
+                bless=args.bless,
+            )
+            sys.stdout.write(render_deltas(deltas, verbose=args.verbose))
+            if escalations:
+                print(f"escalation rounds used: {escalations}")
+            if code != 0:
+                print(
+                    "verdict: REGRESSION (run not recorded; re-run with "
+                    "--bless after an intentional perf change)",
+                )
+            else:
+                print("verdict: pass (run recorded into the history)")
+            return code
+        entries, run_meta = record_run(
+            bench_dir,
+            artifact_path=artifact,
+            history=history,
+            suites=suites,
+            fidelity=not args.no_fidelity,
+        )
+        print(
+            f"recorded {len(entries)} entries from "
+            f"{len(run_meta.get('suites', []))} suite(s) "
+            f"(git {str(run_meta.get('git_sha'))[:7]})"
+        )
+        return 0
+    except BenchError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_score(_args: argparse.Namespace) -> int:
     from repro.harness.scorecard import scorecard
 
@@ -739,6 +864,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "stats": _cmd_stats,
     "score": _cmd_score,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
     "faults": _cmd_faults,
     "serve": _cmd_serve,

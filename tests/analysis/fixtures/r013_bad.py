@@ -1,0 +1,21 @@
+"""Known-bad fixture for R013: measured numbers that never reach the artifact."""
+
+
+def test_measures_but_never_records(benchmark, time_best_of):  # finding 1: no bench_artifact param
+    elapsed_s, _ = time_best_of("grid.cold", lambda: sum(range(256)), reps=3)
+    assert elapsed_s > 0
+
+
+def test_takes_fixture_but_ignores_it(benchmark, bench_artifact):  # finding 2: fixture requested, never called
+    total = sum(range(128))
+    assert total > 0
+
+
+def test_only_prints_the_number(benchmark, time_best_of):  # finding 3: print is not a trajectory record
+    elapsed_s, _ = time_best_of("sweep.batch", lambda: sum(range(512)), reps=3)
+    print(f"batch sweep: {elapsed_s:.6f}s")
+
+
+class TestGrouped:
+    def test_class_level_also_gated(self, benchmark, bench_artifact):  # finding 4: unused recorder inside a class
+        assert sum(range(32)) == 496

@@ -24,6 +24,7 @@ CASES = [
     ("R010", 4),
     ("R011", 4),
     ("R012", 4),
+    ("R013", 4),
 ]
 
 

@@ -1,0 +1,157 @@
+"""``repro bench`` end to end: real pytest subprocesses over a toy suite.
+
+A two-suite toy bench directory (built in ``tmp_path``) stands in for
+``benchmarks/``: same conftest wiring (fixtures imported from
+``repro.bench.fixtures``), real subprocess runs, real artifact merges
+and history appends.  A ``TOY_SLOW`` environment knob injects a
+deliberate >=2x slowdown into one suite so the acceptance criteria are
+exercised for real: slowdown -> exit 1, clean re-run -> exit 0.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.bench.history import BenchHistory
+from repro.bench.schema import load_artifact
+from repro.cli import main
+
+_CONFTEST = """\
+from repro.bench.fixtures import (  # noqa: F401
+    escalate_until,
+    make_bench_artifact_fixture,
+    time_best_of,
+)
+
+bench_artifact = make_bench_artifact_fixture()
+"""
+
+_BENCH_ALPHA = """\
+import os
+
+
+def _work():
+    slow = 60 if os.environ.get("TOY_SLOW") else 1
+    return sum(range(40_000 * slow))
+
+
+def test_alpha_work(time_best_of, bench_artifact):
+    work_s, total = time_best_of("alpha.work", _work, 5)
+    assert total > 0
+    bench_artifact("alpha.work", work_s=work_s, sums_per_s=1.0 / work_s)
+"""
+
+_BENCH_BETA = """\
+def test_beta_work(time_best_of, bench_artifact):
+    work_s, total = time_best_of("beta.work", lambda: sum(range(50_000)), 5)
+    assert total > 0
+    bench_artifact("beta.work", work_s=work_s)
+"""
+
+
+@pytest.fixture
+def toy(tmp_path, monkeypatch):
+    """A toy bench tree + CLI argument prefix aimed at it."""
+    bench_dir = tmp_path / "toybench"
+    bench_dir.mkdir()
+    (bench_dir / "conftest.py").write_text(_CONFTEST)
+    (bench_dir / "bench_alpha.py").write_text(_BENCH_ALPHA)
+    (bench_dir / "bench_beta.py").write_text(_BENCH_BETA)
+    # The subprocess must be able to import repro from anywhere.
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH")
+    monkeypatch.setenv(
+        "PYTHONPATH", src if not existing else src + os.pathsep + existing
+    )
+    monkeypatch.delenv("TOY_SLOW", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_ARTIFACT", raising=False)
+    args = [
+        "bench",
+        "--bench-dir", str(bench_dir),
+        "--artifact", str(tmp_path / "bench_artifact.json"),
+        "--history", str(tmp_path / "history"),
+        "--no-fidelity",
+    ]
+    return {
+        "args": args,
+        "artifact": tmp_path / "bench_artifact.json",
+        "history": BenchHistory(tmp_path / "history"),
+        "bench_dir": bench_dir,
+    }
+
+
+class TestList:
+    def test_lists_toy_suites(self, toy, capsys):
+        assert main([*toy["args"], "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" in out
+
+    def test_empty_dir_errors(self, tmp_path, capsys):
+        code = main(["bench", "--bench-dir", str(tmp_path), "--list"])
+        assert code == 2
+        assert "no bench suites" in capsys.readouterr().err
+
+
+class TestRecord:
+    def test_two_full_runs_accumulate_two_history_records(self, toy, capsys):
+        """Acceptance: consecutive full runs accumulate, byte for byte."""
+        assert main(toy["args"]) == 0
+        assert main(toy["args"]) == 0
+        assert len(toy["history"]) == 2
+        records = toy["history"].records()
+        labels = {e["label"] for e in records[0]["entries"]}
+        assert labels == {"alpha.work", "beta.work"}
+        assert "recorded 2 entries from 2 suite(s)" in capsys.readouterr().out
+        # Each record round-trips bit-identically through the codec.
+        from repro.bench.history import decode_record, encode_record
+
+        for path in sorted((toy["history"].root).iterdir()):
+            text = path.read_text()
+            assert encode_record(decode_record(text)) == text
+
+    def test_subset_run_preserves_other_suites_entries(self, toy):
+        """Acceptance: the artifact-clobbering bug stays dead end to end."""
+        assert main(toy["args"]) == 0
+        before = load_artifact(toy["artifact"])
+        beta_before = next(
+            e for e in before["entries"] if e["label"] == "beta.work"
+        )
+        assert main([*toy["args"], "alpha"]) == 0
+        after = load_artifact(toy["artifact"])
+        by_label = {e["label"]: e for e in after["entries"]}
+        assert set(by_label) == {"alpha.work", "beta.work"}
+        assert by_label["beta.work"] == beta_before  # untouched
+        assert after["run"]["suites"] == ["alpha"]
+        assert len(toy["history"]) == 2
+
+    def test_unknown_suite_exits_2(self, toy, capsys):
+        assert main([*toy["args"], "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_empty_history_seeds_then_slowdown_fails_then_clean_passes(
+        self, toy, capsys, monkeypatch
+    ):
+        # 1. Empty history: pass and seed.
+        assert main([*toy["args"], "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "seeded" in out and "verdict: pass" in out
+        assert len(toy["history"]) == 1
+
+        # 2. Injected >=2x slowdown (60x here): loud non-zero exit, the
+        #    bad run is NOT recorded as a baseline.
+        monkeypatch.setenv("TOY_SLOW", "1")
+        assert main([*toy["args"], "--check", "--rounds", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "verdict: REGRESSION" in out
+        assert len(toy["history"]) == 1
+
+        # 3. Clean re-run: exit 0, appended.
+        monkeypatch.delenv("TOY_SLOW")
+        assert main([*toy["args"], "--check"]) == 0
+        assert "verdict: pass" in capsys.readouterr().out
+        assert len(toy["history"]) == 2

@@ -1,0 +1,242 @@
+"""The noise-aware regression gate (``check_run``) with injected runs.
+
+A fake ``run_fn`` stands in for the pytest subprocess, so these tests
+exercise the gate's decision logic -- seeding, margins, escalation,
+blessing, history hygiene -- deterministically and fast.
+"""
+
+import pytest
+
+from repro.bench.history import BenchHistory
+from repro.bench.runner import BenchError, check_run, discover_suites, record_run
+from repro.bench.schema import load_artifact
+
+
+def _meta(suites=("s",), labels=("s.work",)):
+    return {
+        "schema_version": 2,
+        "git_sha": "f" * 40,
+        "timestamp": "2026-08-09T00:00:00Z",
+        "machine": {},
+        "suites": sorted(suites),
+        "labels_recorded": sorted(labels),
+        "escalation_rounds": 0,
+        "empty": False,
+    }
+
+
+def _run_fn(responses):
+    """A fake runner yielding canned (entries, meta) per call, recording calls."""
+    calls = []
+
+    def run(suites):
+        calls.append(suites)
+        response = responses[min(len(calls), len(responses)) - 1]
+        entries = [dict(e) for e in response]
+        return entries, _meta()
+
+    run.calls = calls
+    return run
+
+
+def _entry(work_s, label="s.work"):
+    return {"label": label, "suite": "s", "work_s": work_s}
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    # A real suite file so escalation has something to re-run; the fake
+    # run_fn never actually executes it.
+    d = tmp_path / "benchmarks"
+    d.mkdir()
+    (d / "bench_s.py").write_text("def test_noop():\n    pass\n")
+    return d
+
+
+class TestCheckRun:
+    def test_empty_history_passes_and_seeds(self, bench_dir, tmp_path):
+        history = BenchHistory(tmp_path / "history")
+        run = _run_fn([[_entry(1.0)]])
+        deltas, escalations, code = check_run(
+            bench_dir, history=history, fidelity=False, run_fn=run
+        )
+        assert code == 0
+        assert escalations == 0
+        assert [d.verdict for d in deltas] == ["seeded"]
+        assert len(history) == 1  # the run became baseline #1
+
+    def test_clean_rerun_passes_and_accumulates(self, bench_dir, tmp_path):
+        history = BenchHistory(tmp_path / "history")
+        for _ in range(2):
+            _, _, code = check_run(
+                bench_dir,
+                history=history,
+                fidelity=False,
+                run_fn=_run_fn([[_entry(1.0)]]),
+            )
+            assert code == 0
+        assert len(history) == 2
+
+    def test_2x_slowdown_fails_and_is_not_recorded(self, bench_dir, tmp_path):
+        history = BenchHistory(tmp_path / "history")
+        check_run(
+            bench_dir, history=history, fidelity=False,
+            run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        run = _run_fn([[_entry(2.0)]])  # slow on every round
+        deltas, escalations, code = check_run(
+            bench_dir, history=history, fidelity=False, rounds=2, run_fn=run
+        )
+        assert code == 1
+        assert escalations == 2  # it re-measured before believing it
+        assert [d.verdict for d in deltas] == ["regression"]
+        # A failed run must not poison the baselines.
+        assert len(history) == 1
+
+    def test_escalation_clears_transient_slowdown(self, bench_dir, tmp_path):
+        history = BenchHistory(tmp_path / "history")
+        check_run(
+            bench_dir, history=history, fidelity=False,
+            run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        # First measurement 3x slow (host-load epoch), re-measurement clean.
+        run = _run_fn([[_entry(3.0)], [_entry(1.05)]])
+        deltas, escalations, code = check_run(
+            bench_dir, history=history, fidelity=False, rounds=2, run_fn=run
+        )
+        assert code == 0
+        assert escalations == 1
+        assert run.calls == [None, ["s"]]  # re-ran only the suspect suite
+        assert [d.verdict for d in deltas] == ["ok"]
+        assert len(history) == 2
+
+    def test_fold_keeps_best_across_rounds(self, bench_dir, tmp_path):
+        history = BenchHistory(tmp_path / "history")
+        check_run(
+            bench_dir, history=history, fidelity=False,
+            run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        # Re-measurement is WORSE: the fold must keep the first (better)
+        # observation, not regress the entry further.
+        run = _run_fn([[_entry(3.0)], [_entry(5.0)], [_entry(5.0)]])
+        deltas, _, code = check_run(
+            bench_dir, history=history, fidelity=False, rounds=2, run_fn=run
+        )
+        assert code == 1
+        assert deltas[0].observed == 3.0
+
+    def test_bless_records_despite_regression(self, bench_dir, tmp_path):
+        history = BenchHistory(tmp_path / "history")
+        check_run(
+            bench_dir, history=history, fidelity=False,
+            run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        _, _, code = check_run(
+            bench_dir, history=history, fidelity=False, rounds=0,
+            bless=True, run_fn=_run_fn([[_entry(4.0)]]),
+        )
+        assert code == 0
+        assert len(history) == 2
+        # The blessed run is now the baseline: 4.0 passes, 1.0 improves.
+        deltas, _, code = check_run(
+            bench_dir, history=history, fidelity=False,
+            run_fn=_run_fn([[_entry(3.9)]]),
+        )
+        assert code == 0
+
+    def test_unrunnable_suite_fails_without_escalation(self, tmp_path):
+        # The regressed label's suite has no bench_*.py file: nothing to
+        # re-run, the verdict stands immediately.
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_other.py").write_text("def test_noop():\n    pass\n")
+        history = BenchHistory(tmp_path / "history")
+        check_run(
+            bench_dir, history=history, fidelity=False,
+            run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        run = _run_fn([[_entry(2.0)]])
+        _, escalations, code = check_run(
+            bench_dir, history=history, fidelity=False, rounds=3, run_fn=run
+        )
+        assert code == 1
+        assert escalations == 0
+        assert run.calls == [None]
+
+
+class TestRecordRun:
+    def test_record_merges_artifact_and_appends_history(self, bench_dir, tmp_path):
+        artifact_path = tmp_path / "bench_artifact.json"
+        history = BenchHistory(tmp_path / "history")
+        record_run(
+            bench_dir, artifact_path=artifact_path, history=history,
+            fidelity=False, run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        record_run(
+            bench_dir, artifact_path=artifact_path, history=history,
+            fidelity=False, run_fn=_run_fn([[_entry(1.1)]]),
+        )
+        assert len(history) == 2
+        artifact = load_artifact(artifact_path)
+        assert artifact["schema_version"] == 2
+        assert [e["work_s"] for e in artifact["entries"]] == [1.1]
+
+    def test_fidelity_entries_folded_in(self, bench_dir, tmp_path):
+        artifact_path = tmp_path / "bench_artifact.json"
+        history = BenchHistory(tmp_path / "history")
+        entries, run_meta = record_run(
+            bench_dir, artifact_path=artifact_path, history=history,
+            fidelity=True, run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        fid = [e for e in entries if e["suite"] == "fidelity"]
+        assert fid, "scorecard produced no fidelity entries"
+        assert all(e["label"].startswith("fidelity.") for e in fid)
+        assert all("mean_abs_rel_err" in e for e in fid)
+        assert "fidelity" in run_meta["suites"]
+        # Deterministic: a second run repeats the numbers bit for bit,
+        # so the fidelity gate can hold a zero-spread baseline.
+        entries2, _ = record_run(
+            bench_dir, artifact_path=artifact_path, history=history,
+            fidelity=True, run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        assert [e for e in entries2 if e["suite"] == "fidelity"] == fid
+
+    def test_fidelity_regression_fails_the_gate(self, bench_dir, tmp_path):
+        # Seed real fidelity numbers, then hand-inject a drifted entry.
+        history = BenchHistory(tmp_path / "history")
+        entries, _ = record_run(
+            bench_dir, artifact_path=tmp_path / "a.json", history=history,
+            fidelity=True, run_fn=_run_fn([[_entry(1.0)]]),
+        )
+        from repro.bench.compare import compare_entries, regressions
+
+        drifted = [dict(e) for e in entries if e["suite"] == "fidelity"]
+        drifted[0]["mean_abs_rel_err"] = (
+            drifted[0]["mean_abs_rel_err"] * 10 + 1.0
+        )
+        deltas = compare_entries(drifted, history)
+        assert any(
+            d.label == drifted[0]["label"] and d.field == "mean_abs_rel_err"
+            for d in regressions(deltas)
+        )
+
+    def test_unknown_suite_raises(self, bench_dir, tmp_path):
+        with pytest.raises(BenchError, match="unknown suite"):
+            record_run(
+                bench_dir, artifact_path=tmp_path / "a.json",
+                history=BenchHistory(tmp_path / "h"),
+                suites=["nope"], fidelity=False,
+            )
+
+
+class TestDiscoverSuites:
+    def test_stems_mapped_to_files(self, tmp_path):
+        (tmp_path / "bench_alpha.py").write_text("")
+        (tmp_path / "bench_beta.py").write_text("")
+        (tmp_path / "conftest.py").write_text("")
+        suites = discover_suites(tmp_path)
+        assert sorted(suites) == ["alpha", "beta"]
+        assert suites["alpha"].name == "bench_alpha.py"
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert discover_suites(tmp_path / "nope") == {}

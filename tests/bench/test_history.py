@@ -1,0 +1,136 @@
+"""The append-only history store: codec, accumulation, corruption."""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    BenchHistory,
+    HistoryError,
+    decode_record,
+    encode_record,
+    trajectory_summary,
+)
+
+
+def _record(seq, **fields):
+    return {
+        "run": {
+            "git_sha": "deadbeef" + "0" * 32,
+            "timestamp": f"2026-08-0{seq}T00:00:00Z",
+            "suites": ["store"],
+            "empty": False,
+        },
+        "entries": [{"label": "store.get", "suite": "store", "get_s": 0.5, **fields}],
+    }
+
+
+class TestCodec:
+    def test_roundtrip_byte_identical(self):
+        # repr-float payloads must survive encode -> decode -> encode
+        # with not a single byte changed: the gate treats re-read
+        # baselines as the measured numbers.
+        record = {
+            "run": {"git_sha": None, "empty": False},
+            "entries": [
+                {"label": "x", "suite": "s", "v_s": 0.1 + 0.2, "r_per_s": 1e-7},
+                {"label": "y", "suite": "s", "v_s": 3.141592653589793},
+            ],
+        }
+        text = encode_record(record)
+        assert decode_record(text) == record
+        assert encode_record(decode_record(text)) == text
+
+    def test_version_mismatch_rejected(self):
+        text = encode_record(_record(1))
+        wrapper = json.loads(text)
+        wrapper["version"] = 99
+        with pytest.raises(HistoryError, match="version"):
+            decode_record(json.dumps(wrapper))
+
+    def test_sha_mismatch_rejected(self):
+        text = encode_record(_record(1))
+        wrapper = json.loads(text)
+        wrapper["payload"] = wrapper["payload"].replace("0.5", "0.4")
+        with pytest.raises(HistoryError, match="sha256"):
+            decode_record(json.dumps(wrapper))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(HistoryError):
+            decode_record("not json {")
+
+
+class TestBenchHistory:
+    def test_two_appends_two_records(self, tmp_path):
+        """Acceptance: consecutive runs accumulate, nothing overwritten."""
+        history = BenchHistory(tmp_path / "history")
+        history.append(_record(1, get_s=0.5))
+        history.append(_record(2, get_s=0.6))
+        assert len(history) == 2
+        records = history.records()
+        assert len(records) == 2
+        assert records[0]["entries"][0]["get_s"] == 0.5
+        assert records[1]["entries"][0]["get_s"] == 0.6
+
+    def test_filenames_sequence_and_sha(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        p1 = history.append(_record(1))
+        p2 = history.append(_record(2))
+        assert p1.name == "run-000001-deadbee.json"
+        assert p2.name == "run-000002-deadbee.json"
+
+    def test_nogit_run_still_named(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        path = history.append({"run": {"git_sha": None}, "entries": []})
+        assert "nogit" in path.name
+
+    def test_empty_dir(self, tmp_path):
+        history = BenchHistory(tmp_path / "missing")
+        assert len(history) == 0
+        assert history.records() == []
+        assert history.latest() is None
+
+    def test_corrupt_record_skipped_not_deleted(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.append(_record(1, get_s=0.5))
+        bad = history.append(_record(2, get_s=0.6))
+        bad.write_text(bad.read_text()[:40])  # torn write
+        records = history.records()
+        assert len(records) == 1
+        assert records[0]["entries"][0]["get_s"] == 0.5
+        assert bad.exists()  # append-only: evidence stays
+
+    def test_series_reads_label_field_trajectory(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.append(_record(1, get_s=0.5))
+        history.append(_record(2, get_s=0.6))
+        history.append({"run": {"git_sha": None}, "entries": []})  # no label
+        assert history.series("store.get", "get_s") == [0.5, 0.6]
+        assert history.series("store.get", "missing") == []
+        assert history.series("nope", "get_s") == []
+
+    def test_series_skips_non_numeric_and_bool(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.append({
+            "run": {"git_sha": None},
+            "entries": [{"label": "x", "flag_s": True, "note_s": "fast"}],
+        })
+        assert history.series("x", "flag_s") == []
+        assert history.series("x", "note_s") == []
+
+
+class TestTrajectorySummary:
+    def test_none_without_history(self, tmp_path):
+        assert trajectory_summary(tmp_path / "none") is None
+
+    def test_summarises_latest_run(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.append(_record(1))
+        history.append(_record(2))
+        summary = trajectory_summary(tmp_path)
+        assert summary["runs"] == 2
+        assert summary["labels"] == 1
+        assert summary["latest"]["suites"] == ["store"]
+        assert summary["latest"]["entries"] == 1
+        assert summary["latest"]["empty"] is False
+        assert summary["latest"]["timestamp"] == "2026-08-02T00:00:00Z"

@@ -1,0 +1,111 @@
+"""Direction detection, spread-derived margins, and delta classification."""
+
+from repro.bench.compare import compare_entries, regressions, render_deltas
+from repro.bench.thresholds import (
+    BASE_MARGIN,
+    SPREAD_FACTOR,
+    baseline_from_history,
+    field_direction,
+    margin_from_history,
+)
+
+
+class _FakeHistory:
+    def __init__(self, series_map):
+        self._map = series_map
+
+    def series(self, label, field):
+        return list(self._map.get((label, field), ()))
+
+
+class TestFieldDirection:
+    def test_durations_and_errors_lower_better(self):
+        assert field_direction("get_s") == "lower"
+        assert field_direction("elapsed_s") == "lower"
+        assert field_direction("mean_abs_rel_err") == "lower"
+
+    def test_rates_and_speedups_higher_better(self):
+        # _per_s also ends in _s: the higher-better check must win.
+        assert field_direction("gets_per_s") == "higher"
+        assert field_direction("speedup") == "higher"
+        assert field_direction("batch_speedup") == "higher"
+
+    def test_metadata_ungated(self):
+        assert field_direction("n_configs") is None
+        assert field_direction("label") is None
+        assert field_direction("fast_fraction") is None
+
+
+class TestMargins:
+    def test_short_history_gets_base_margin(self):
+        assert margin_from_history([]) == BASE_MARGIN
+        assert margin_from_history([1.0]) == BASE_MARGIN
+
+    def test_tight_history_stays_at_base(self):
+        assert margin_from_history([1.0, 1.01, 0.99]) == BASE_MARGIN
+
+    def test_noisy_history_widens_margin(self):
+        values = [1.0, 1.8]  # 80% spread
+        assert margin_from_history(values) == SPREAD_FACTOR * 0.8
+
+    def test_nonpositive_values_ignored(self):
+        assert margin_from_history([0.0, -1.0, 2.0]) == BASE_MARGIN
+
+    def test_baseline_is_best_by_direction(self):
+        assert baseline_from_history([0.5, 0.3, 0.4], "lower") == 0.3
+        assert baseline_from_history([10.0, 30.0, 20.0], "higher") == 30.0
+        assert baseline_from_history([], "lower") is None
+
+
+class TestCompareEntries:
+    def test_seeded_without_history(self):
+        deltas = compare_entries(
+            [{"label": "x", "suite": "s", "run_s": 1.0}], _FakeHistory({})
+        )
+        assert [d.verdict for d in deltas] == ["seeded"]
+        assert regressions(deltas) == []
+
+    def test_2x_slowdown_is_regression(self):
+        """Acceptance bar: a clean 2x slowdown always fires."""
+        history = _FakeHistory({("x", "run_s"): [1.0, 1.02, 0.98]})
+        deltas = compare_entries([{"label": "x", "run_s": 2.0}], history)
+        assert [d.verdict for d in deltas] == ["regression"]
+
+    def test_noise_within_spread_is_ok(self):
+        # 30% historical spread earns a 45% margin: a 1.3x excursion
+        # inside the historical range must NOT fire.
+        history = _FakeHistory({("x", "run_s"): [1.0, 1.3, 1.1]})
+        deltas = compare_entries([{"label": "x", "run_s": 1.35}], history)
+        assert [d.verdict for d in deltas] == ["ok"]
+
+    def test_higher_better_regression_direction(self):
+        history = _FakeHistory({("x", "ops_per_s"): [100.0, 102.0]})
+        slow = compare_entries([{"label": "x", "ops_per_s": 40.0}], history)
+        fast = compare_entries([{"label": "x", "ops_per_s": 200.0}], history)
+        assert [d.verdict for d in slow] == ["regression"]
+        assert [d.verdict for d in fast] == ["improved"]
+
+    def test_improvement_never_fails(self):
+        history = _FakeHistory({("x", "run_s"): [1.0, 1.01]})
+        deltas = compare_entries([{"label": "x", "run_s": 0.2}], history)
+        assert [d.verdict for d in deltas] == ["improved"]
+        assert regressions(deltas) == []
+
+    def test_ungated_and_non_numeric_fields_skipped(self):
+        deltas = compare_entries(
+            [{"label": "x", "n_rows": 5, "verified_s": True, "note": "hi",
+              "run_s": 1.0}],
+            _FakeHistory({}),
+        )
+        assert [d.field for d in deltas] == ["run_s"]
+
+    def test_render_mentions_counts_and_regressions(self):
+        history = _FakeHistory({("x", "run_s"): [1.0, 1.02]})
+        deltas = compare_entries(
+            [{"label": "x", "run_s": 5.0}, {"label": "y", "run_s": 1.0}],
+            history,
+        )
+        text = render_deltas(deltas)
+        assert "1 regression(s)" in text
+        assert "1 seeded" in text
+        assert "x" in text and "5" in text

@@ -100,4 +100,4 @@ class TestLintHelp:
 
         codes = registered_codes()
         assert f"{codes[0]}-{codes[-1]}" in _lint_help()
-        assert "R012" in _lint_help()  # the newest rule is covered
+        assert "R013" in _lint_help()  # the newest rule is covered
